@@ -1,0 +1,49 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test test-short bench experiments experiments-quick examples fuzz vet clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/exper/ ./internal/stream/
+
+test-short:
+	$(GO) test -short ./...
+
+# Micro-benchmarks and the E1–E12 tables via testing.B (quick mode).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full-fidelity experiment suite (minutes).
+experiments:
+	$(GO) run ./cmd/histbench -run all -v
+
+experiments-quick:
+	$(GO) run ./cmd/histbench -run all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/modelselection
+	$(GO) run ./examples/selectivity
+	$(GO) run ./examples/streamcheck
+	$(GO) run ./examples/shapeaudit
+	$(GO) run ./examples/abcompare
+
+# Short fuzz pass over the structural fuzz targets.
+fuzz:
+	$(GO) test -fuzz=FuzzFromBoundaries -fuzztime=15s ./internal/intervals/
+	$(GO) test -fuzz=FuzzDomainAlgebra -fuzztime=15s ./internal/intervals/
+	$(GO) test -fuzz=FuzzProjectTV -fuzztime=15s ./internal/histdp/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,91 @@
+// Benchmark harness: one testing.B benchmark per experiment table of the
+// reproduction (see DESIGN.md's experiment index and EXPERIMENTS.md for
+// recorded results). Each benchmark executes the registered experiment in
+// Quick mode and reports the tables through b.Log, so
+//
+//	go test -bench=E -benchtime=1x
+//
+// regenerates every table. cmd/histbench runs the same experiments at
+// full fidelity with nicer output.
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/exper"
+)
+
+// runExperiment executes one registered experiment per benchmark
+// iteration and logs its rendered tables.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exper.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(exper.RunConfig{Seed: uint64(42 + i), Quick: true})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			for _, tb := range tables {
+				if err := tb.Render(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.Logf("%s: %s\n%s", id, e.Claim, buf.String())
+		}
+	}
+}
+
+// BenchmarkE1SampleComplexityVsN regenerates the Theorem 1.1 √n-scaling
+// table.
+func BenchmarkE1SampleComplexityVsN(b *testing.B) { runExperiment(b, "E1") }
+
+// BenchmarkE2SampleComplexityVsK regenerates the Theorem 1.1 k-scaling
+// table.
+func BenchmarkE2SampleComplexityVsK(b *testing.B) { runExperiment(b, "E2") }
+
+// BenchmarkE3BaselineComparison regenerates the Section 1.2 comparison
+// against ILR12, CDGR16, and the naive learner.
+func BenchmarkE3BaselineComparison(b *testing.B) { runExperiment(b, "E3") }
+
+// BenchmarkE4PaninskiHardness regenerates the Proposition 4.1 hardness
+// tables for the Q_ε family.
+func BenchmarkE4PaninskiHardness(b *testing.B) { runExperiment(b, "E4") }
+
+// BenchmarkE5SupportSizeReduction regenerates the Proposition 4.2 /
+// Lemma 4.4 reduction tables.
+func BenchmarkE5SupportSizeReduction(b *testing.B) { runExperiment(b, "E5") }
+
+// BenchmarkE6OperatingCharacteristic regenerates the Section 2
+// accept-rate-vs-distance curve.
+func BenchmarkE6OperatingCharacteristic(b *testing.B) { runExperiment(b, "E6") }
+
+// BenchmarkE7RunningTime regenerates the Theorem 3.1 running-time table.
+func BenchmarkE7RunningTime(b *testing.B) { runExperiment(b, "E7") }
+
+// BenchmarkE8SievingAblation regenerates the Section 3.2.1 sieve
+// ablation.
+func BenchmarkE8SievingAblation(b *testing.B) { runExperiment(b, "E8") }
+
+// BenchmarkE9LearnerChiSq regenerates the Lemma 3.5 learner-error curve.
+func BenchmarkE9LearnerChiSq(b *testing.B) { runExperiment(b, "E9") }
+
+// BenchmarkE10ModelSelection regenerates the Section 1.1 model-selection
+// pipeline table.
+func BenchmarkE10ModelSelection(b *testing.B) { runExperiment(b, "E10") }
+
+// BenchmarkE11PoissonizationAblation regenerates the Section 2
+// Poissonization ablation.
+func BenchmarkE11PoissonizationAblation(b *testing.B) { runExperiment(b, "E11") }
+
+// BenchmarkE12CheckAblation regenerates the Step-10 check ablation.
+func BenchmarkE12CheckAblation(b *testing.B) { runExperiment(b, "E12") }
+
+// BenchmarkE13KnownPartition regenerates the Section 1.2 known-vs-unknown
+// partition comparison.
+func BenchmarkE13KnownPartition(b *testing.B) { runExperiment(b, "E13") }

@@ -1,0 +1,94 @@
+// Command histbench regenerates the experiment tables E1–E13 (see
+// DESIGN.md for the index mapping each to a paper claim).
+//
+// Usage:
+//
+//	histbench -list
+//	histbench -run E1,E4
+//	histbench -run all -quick -seed 7
+//	histbench -run E6 -csv results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/exper"
+)
+
+func main() {
+	var (
+		runIDs  = flag.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
+		quick   = flag.Bool("quick", false, "smaller sweeps and trial counts")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		verbose = flag.Bool("v", false, "print progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exper.Registry() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	var selected []exper.Experiment
+	if *runIDs == "all" {
+		selected = exper.Registry()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := exper.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "histbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	rc := exper.RunConfig{Seed: *seed, Quick: *quick}
+	if *verbose {
+		rc.Progress = os.Stderr
+	}
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s ===\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
+		tables, err := e.Run(rc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "histbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for i, tb := range tables {
+			if err := tb.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "histbench: render: %v\n", err)
+				os.Exit(1)
+			}
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+					os.Exit(1)
+				}
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i+1)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := tb.RenderCSV(f); err != nil {
+					f.Close()
+					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command modelselect runs the paper's model-selection pipeline
+// (Section 1.1): doubling search over the histogram tester for the
+// smallest adequate bucket count k, then a V-optimal histogram sketch
+// built at that k, reported with its bucket boundaries.
+//
+// Usage:
+//
+//	modelselect -n 1024 -eps 0.3 -file values.txt
+//	modelselect -n 1024 -eps 0.3 -demo   # synthetic 4-histogram input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/histtest"
+	"repro/internal/cli"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 0, "domain size")
+		eps  = flag.Float64("eps", 0.3, "distance parameter ε")
+		kmax = flag.Int("kmax", 64, "largest k to consider")
+		file = flag.String("file", "", "input file (default: stdin)")
+		demo = flag.Bool("demo", false, "use a synthetic 4-histogram source instead of input data")
+		seed = flag.Uint64("seed", 1, "search seed")
+		reps = flag.Int("reps", 3, "tester repetitions per k (majority vote)")
+	)
+	flag.Parse()
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "modelselect: -n is required")
+		os.Exit(2)
+	}
+
+	var src histtest.Source
+	var data []int
+	if *demo {
+		h, err := histtest.NewHistogram(*n, []int{*n / 8, *n / 2, 3 * *n / 4}, []float64{0.4, 0.1, 0.3, 0.2})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelselect: %v\n", err)
+			os.Exit(1)
+		}
+		src = h.Sampler(42)
+	} else {
+		var err error
+		data, err = cli.ReadValues(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelselect: %v\n", err)
+			os.Exit(1)
+		}
+		if len(data) == 0 {
+			fmt.Fprintln(os.Stderr, "modelselect: empty input")
+			os.Exit(1)
+		}
+		// Cycle the dataset as the source (standard bootstrap view of a
+		// large dataset as a distribution).
+		fn, err := cli.CyclingSource(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelselect: %v\n", err)
+			os.Exit(1)
+		}
+		src = func() int { return fn() }
+	}
+
+	res, err := histtest.SmallestK(src, *n, *eps, histtest.SelectOptions{
+		Options: histtest.Options{Seed: *seed},
+		Reps:    *reps,
+		KMax:    *kmax,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modelselect: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("probed k values: %v\n", res.Probed)
+	fmt.Printf("samples used in search: %d\n", res.SamplesUsed)
+	if res.K > *kmax {
+		fmt.Printf("no k <= %d passes at ε=%.3f; the data needs more than %d bins at this accuracy\n", *kmax, *eps, *kmax)
+		os.Exit(3)
+	}
+	fmt.Printf("selected k = %d\n", res.K)
+
+	// Build the sketch from the dataset (or fresh demo samples).
+	if data == nil {
+		data = make([]int, 200000)
+		for i := range data {
+			data[i] = src()
+		}
+	}
+	sketch, err := histtest.BuildHistogram(data, *n, res.K, histtest.BuildVOptimal)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modelselect: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("V-optimal sketch with %d buckets:\n", sketch.Buckets())
+	prev := 0.0
+	for i := 0; i < sketch.N(); i++ {
+		p := sketch.Prob(i)
+		if i == 0 || p != prev {
+			fmt.Printf("  from %6d: height %.6g\n", i, p)
+			prev = p
+		}
+	}
+
+	// Scree curve of the empirical distribution: how the residual distance
+	// to H_k decays as k grows — context for the selected k.
+	fine, err := histtest.BuildHistogram(data, *n, min(*n, 512), histtest.BuildEquiWidth)
+	if err == nil {
+		kTop := res.K + 4
+		if curve, err := fine.DistanceCurve(kTop); err == nil {
+			fmt.Printf("\nempirical distance to H_k (scree):\n")
+			for k := 1; k <= kTop; k++ {
+				marker := ""
+				if k == res.K {
+					marker = "   <- selected"
+				}
+				fmt.Printf("  k=%-3d dist %.4f%s\n", k, curve[k-1], marker)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+// Selectivity estimation: the database use-case that motivates histogram
+// testing ([Koo80], [PIHS96], [JKM+98] in the paper's introduction). A
+// query optimizer keeps a histogram sketch of a column to estimate range
+// predicates' selectivity. The tester validates the bin budget before the
+// sketch is built: if the column passes the k-histogram test, a k-bucket
+// V-optimal sketch is trustworthy; if it fails, the optimizer knows k
+// buckets cannot represent this column within ε.
+//
+//	go run ./examples/selectivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/histtest"
+)
+
+// column simulates a table column: order totals concentrated in a few
+// price bands (a natural near-histogram). The row count is sized so the
+// tester's sample budget fits in the dataset.
+func column(rowsNeeded int) ([]int, *histtest.Histogram, error) {
+	const n = 4096
+	truth, err := histtest.NewHistogram(n,
+		[]int{100, 500, 520, 2000, 3500},
+		[]float64{0.02, 0.45, 0.08, 0.30, 0.10, 0.05})
+	if err != nil {
+		return nil, nil, err
+	}
+	src := truth.Sampler(1234)
+	rows := make([]int, rowsNeeded)
+	for i := range rows {
+		rows[i] = src()
+	}
+	return rows, truth, nil
+}
+
+func main() {
+	const (
+		n   = 4096
+		eps = 0.35
+	)
+	need := histtest.RequiredSamples(n, 6, eps, histtest.Options{})
+	if r2 := histtest.RequiredSamples(n, 2, eps, histtest.Options{}); r2 > need {
+		need = r2
+	}
+	rows, truth, err := column(int(need + need/4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Validate candidate bin budgets with the tester before building.
+	for _, k := range []int{2, 6} {
+		v, err := histtest.TestSamples(rows, n, k, eps, histtest.Options{Seed: 5})
+		if err != nil {
+			log.Fatalf("k=%d: %v", k, err)
+		}
+		verdict := "REJECT (needs more bins)"
+		if v.IsKHistogram {
+			verdict = "ACCEPT (k bins suffice)"
+		}
+		fmt.Printf("validate k=%d: %s  (%d samples)\n", k, verdict, v.SamplesUsed)
+	}
+
+	// Build the sketch at the accepted budget and answer range queries.
+	sketch, err := histtest.BuildHistogram(rows, n, 6, histtest.BuildVOptimal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nV-optimal sketch: %d buckets for %d rows\n\n", sketch.Buckets(), len(rows))
+	queries := []struct {
+		name   string
+		lo, hi int
+	}{
+		{"price < 100", 0, 100},
+		{"100 <= price < 520", 100, 520},
+		{"price >= 2000", 2000, n},
+		{"narrow band [500,520)", 500, 520},
+	}
+	fmt.Printf("%-24s %10s %10s %10s\n", "query", "estimated", "true", "abs err")
+	for _, q := range queries {
+		est := sketch.Selectivity(q.lo, q.hi)
+		want := truth.Selectivity(q.lo, q.hi)
+		diff := est - want
+		if diff < 0 {
+			diff = -diff
+		}
+		fmt.Printf("%-24s %10.4f %10.4f %10.4f\n", q.name, est, want, diff)
+	}
+}

@@ -1,0 +1,92 @@
+// Shape audit: beyond "how many bins", characterize WHAT shape a
+// distribution has — monotone, unimodal, k-modal, or none of the above —
+// using the ℓ1 shape projections (the classes of the paper's Theorem 1.2
+// remark and its [ADK15] lineage). A data platform can use this to decide
+// which compressed representation (monotone fit, unimodal fit, k-bucket
+// histogram) is faithful enough for a column.
+//
+//	go run ./examples/shapeaudit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/histtest"
+)
+
+func audit(name string, h *histtest.Histogram, eps float64) {
+	fmt.Printf("%s (complexity %d, modality %d, entropy %.2f bits)\n",
+		name, h.Complexity(), h.Modality(), h.Entropy())
+
+	if d, _ := h.DistanceToMonotone(true); d <= eps {
+		fmt.Printf("  monotone-decreasing fit OK (distance %.3f)\n", d)
+	} else if d, _ := h.DistanceToMonotone(false); d <= eps {
+		fmt.Printf("  monotone-increasing fit OK (distance %.3f)\n", d)
+	} else if d, _ := h.DistanceToUnimodal(); d <= eps {
+		fmt.Printf("  unimodal fit OK (distance %.3f)\n", d)
+	} else {
+		for k := 2; k <= 8; k *= 2 {
+			if d, _, err := h.DistanceToKModal(k); err == nil && d <= eps {
+				fmt.Printf("  %d-modal fit OK (distance %.3f)\n", k, d)
+				return
+			}
+		}
+		lo, _, _ := h.DistanceToClass(8)
+		fmt.Printf("  no simple shape fits; 8-bucket histogram distance %.3f\n", lo)
+	}
+}
+
+func main() {
+	const n = 1024
+	const eps = 0.05
+
+	// A long-tailed rank distribution: monotone decreasing.
+	zipfCuts := []int{8, 32, 128, 512}
+	zipf, err := histtest.NewHistogram(n, zipfCuts, []float64{0.4, 0.3, 0.17, 0.09, 0.04})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A latency-like profile: single peak with a shoulder.
+	peak, err := histtest.NewHistogram(n, []int{200, 300, 420, 700}, []float64{0.1, 0.35, 0.3, 0.2, 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A two-cohort mixture: bimodal (2-modal in the paper's counting needs
+	// up-down-up-down = 3 direction changes).
+	bimodal, err := histtest.NewHistogram(n,
+		[]int{150, 250, 500, 650, 800},
+		[]float64{0.08, 0.3, 0.07, 0.33, 0.14, 0.08})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A sawtooth: no small shape class fits.
+	cuts := make([]int, 0, 15)
+	masses := make([]float64, 0, 16)
+	for j := 0; j < 16; j++ {
+		if j > 0 {
+			cuts = append(cuts, j*n/16)
+		}
+		masses = append(masses, float64(j%2*9+1))
+	}
+	saw, err := histtest.NewHistogram(n, cuts, masses)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		h    *histtest.Histogram
+	}{
+		{"rank popularity", zipf},
+		{"latency profile", peak},
+		{"two cohorts", bimodal},
+		{"sawtooth", saw},
+	} {
+		audit(tc.name, tc.h, eps)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,105 @@
+// Stream drift detection: monitor a live data stream and alert when its
+// distribution stops being representable by the k-histogram model the
+// downstream system assumes. Events flow through a fixed-size chunker
+// (internal/stream); each complete chunk is handed to the tester. An
+// accepted chunk keeps the model, a rejected one signals that the summary
+// (and anything tuned to it — query plans, alert thresholds) must be
+// rebuilt with more bins.
+//
+//	go run ./examples/streamcheck
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/histtest"
+	"repro/internal/stream"
+)
+
+const (
+	n   = 1 << 11
+	k   = 3
+	eps = 0.45
+)
+
+// phase describes one regime of the simulated stream.
+type phase struct {
+	name   string
+	src    histtest.Source
+	events int
+}
+
+func phases(window int) ([]phase, error) {
+	// Regime A: a clean 3-histogram (the provisioned model).
+	clean, err := histtest.NewHistogram(n, []int{400, 1400}, []float64{0.3, 0.5, 0.2})
+	if err != nil {
+		return nil, err
+	}
+	// Regime B: mild drift — still a 3-histogram, shifted weights.
+	drifted, err := histtest.NewHistogram(n, []int{400, 1400}, []float64{0.45, 0.35, 0.2})
+	if err != nil {
+		return nil, err
+	}
+	// Regime C: structural break — a 40-step sawtooth no 3-histogram fits.
+	cuts := make([]int, 0, 39)
+	masses := make([]float64, 0, 40)
+	for j := 0; j < 40; j++ {
+		if j > 0 {
+			cuts = append(cuts, j*n/40)
+		}
+		masses = append(masses, float64(j%5+1))
+	}
+	broken, err := histtest.NewHistogram(n, cuts, masses)
+	if err != nil {
+		return nil, err
+	}
+	return []phase{
+		{"regime A (provisioned 3-histogram)", clean.Sampler(10), window},
+		{"regime B (drifted, still 3 bands)", drifted.Sampler(11), window},
+		{"regime C (structural break)", broken.Sampler(12), window},
+	}, nil
+}
+
+func main() {
+	window := int(histtest.RequiredSamples(n, k, eps, histtest.Options{}))
+	window += window / 4
+	ps, err := phases(window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chunk size: %d events; model: %d-histogram over [0,%d) at ε=%.2f\n\n", window, k, n, eps)
+
+	// The chunker hands each complete window to the tester.
+	seed := uint64(100)
+	names := make([]string, 0, len(ps))
+	chunker, err := stream.NewChunker(window, func(samples []int) (bool, error) {
+		v, err := histtest.TestSamples(samples, n, k, eps, histtest.Options{Seed: seed})
+		if err != nil {
+			return false, err
+		}
+		seed++
+		return v.IsKHistogram, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the regimes through the stream.
+	for _, p := range ps {
+		names = append(names, p.name)
+		for i := 0; i < p.events; i++ {
+			chunker.Offer(p.src())
+		}
+	}
+
+	for i, v := range chunker.Verdicts() {
+		status := "OK      model holds"
+		if v.Err != nil {
+			status = "ERROR   " + v.Err.Error()
+		} else if !v.Accept {
+			status = "ALERT   rebuild summary"
+		}
+		fmt.Printf("%-38s %s\n", names[i], status)
+	}
+}

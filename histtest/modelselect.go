@@ -1,0 +1,110 @@
+package histtest
+
+import "fmt"
+
+// SelectOptions tune SmallestK.
+type SelectOptions struct {
+	// Options are passed to each underlying tester invocation.
+	Options
+	// Reps is the number of tester invocations per k, decided by majority
+	// (default 3). Raising it stabilizes the search at the cost of samples.
+	Reps int
+	// KMax caps the search (default n). If no k <= KMax passes, SmallestK
+	// returns KMax+1.
+	KMax int
+}
+
+// SelectResult reports a model-selection run.
+type SelectResult struct {
+	// K is the smallest accepted bucket count (KMax+1 if none passed).
+	K int
+	// SamplesUsed is the total sample consumption of the search.
+	SamplesUsed int64
+	// Probed lists every k that was tested, in order.
+	Probed []int
+}
+
+// SmallestK finds the smallest k for which the distribution behind src
+// passes the k-histogram test at distance ε — the model-selection loop of
+// the paper's introduction (Section 1.1): doubling search on k followed by
+// binary refinement, with each decision a majority over Reps tester runs.
+//
+// The returned k satisfies, with high probability, dTV(D, H_k) < ε (the
+// accepted model is adequate) while H_{k/2-ish} was still rejected — i.e.
+// k is within a factor ~2 and distance slack ε of the true complexity.
+// Feeding k to BuildHistogram(·, ·, k, BuildVOptimal) then yields a sketch
+// with the accuracy/conciseness trade-off the paper describes.
+func SmallestK(src Source, n int, eps float64, sel SelectOptions) (*SelectResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("histtest: n = %d must be positive", n)
+	}
+	reps := sel.Reps
+	if reps < 1 {
+		reps = 3
+	}
+	kMax := sel.KMax
+	if kMax < 1 || kMax > n {
+		kMax = n
+	}
+	res := &SelectResult{}
+	seed := sel.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	passes := func(k int) (bool, error) {
+		accepts := 0
+		for i := 0; i < reps; i++ {
+			opt := sel.Options
+			opt.Seed = seed
+			seed++ // fresh tester randomness per invocation
+			v, err := TestSource(src, n, k, eps, opt)
+			if err != nil {
+				return false, err
+			}
+			res.SamplesUsed += v.SamplesUsed
+			if v.IsKHistogram {
+				accepts++
+			}
+		}
+		res.Probed = append(res.Probed, k)
+		return 2*accepts > reps, nil
+	}
+
+	// Doubling phase.
+	lo := 0 // largest known-rejected k (0 = none)
+	hi := -1
+	for k := 1; ; k *= 2 {
+		if k > kMax {
+			k = kMax
+		}
+		ok, err := passes(k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi = k
+			break
+		}
+		lo = k
+		if k == kMax {
+			res.K = kMax + 1
+			return res, nil
+		}
+	}
+	// Binary refinement on (lo, hi].
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		ok, err := passes(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	res.K = hi
+	return res, nil
+}

@@ -1,0 +1,43 @@
+package histtest
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// histogramJSON is the stable wire format of a Histogram sketch: the
+// domain size, interior cut points, and bucket masses.
+type histogramJSON struct {
+	N      int       `json:"n"`
+	Cuts   []int     `json:"cuts"`
+	Masses []float64 `json:"masses"`
+}
+
+// MarshalJSON encodes the histogram as {"n":…, "cuts":[…], "masses":[…]}.
+// Sketches produced by BuildHistogram round-trip exactly.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	pieces := h.pc.Pieces()
+	enc := histogramJSON{N: h.pc.N()}
+	for i, pc := range pieces {
+		if i > 0 {
+			enc.Cuts = append(enc.Cuts, pc.Iv.Lo)
+		}
+		enc.Masses = append(enc.Masses, pc.Mass)
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON decodes the MarshalJSON format, validating it as a
+// distribution.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var enc histogramJSON
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return fmt.Errorf("histtest: decoding histogram: %w", err)
+	}
+	decoded, err := NewHistogram(enc.N, enc.Cuts, enc.Masses)
+	if err != nil {
+		return fmt.Errorf("histtest: invalid histogram payload: %w", err)
+	}
+	h.pc = decoded.pc
+	return nil
+}

@@ -1,0 +1,158 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// rate runs tester trials times on fresh samplers of d and returns the
+// accept fraction.
+func rate(t *testing.T, tester Tester, d dist.Distribution, k int, eps float64, trials int, seed uint64) float64 {
+	t.Helper()
+	r := rng.New(seed)
+	accepts := 0
+	for i := 0; i < trials; i++ {
+		s := oracle.NewSampler(d, r)
+		dec, err := tester.Run(s, r, k, eps)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if dec.Accept {
+			accepts++
+		}
+	}
+	return float64(accepts) / float64(trials)
+}
+
+func TestNaiveCompleteness(t *testing.T) {
+	r := rng.New(1)
+	d := gen.KHistogram(r, 256, 4)
+	if got := rate(t, NewNaive(), d, 4, 0.4, 10, 2); got < 0.9 {
+		t.Fatalf("naive accept rate on 4-histogram = %v", got)
+	}
+}
+
+func TestNaiveSoundness(t *testing.T) {
+	d := gen.Comb(256)
+	if got := rate(t, NewNaive(), d, 4, 0.4, 10, 3); got > 0.1 {
+		t.Fatalf("naive accept rate on comb = %v", got)
+	}
+}
+
+func TestNaiveLargeDomainCoarsens(t *testing.T) {
+	// n above the DP limit exercises the flattening fallback.
+	r := rng.New(4)
+	d := gen.KHistogram(r, 2*4096, 3)
+	s := oracle.NewSampler(d, r)
+	dec, err := NewNaive().Run(s, r, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Accept {
+		t.Fatal("naive rejected a histogram on a large domain")
+	}
+	if dec.Samples <= 0 {
+		t.Fatal("sample accounting missing")
+	}
+}
+
+func TestCDGRCompleteness(t *testing.T) {
+	// A histogram whose breakpoints the ApproxPart boundaries will usually
+	// straddle lightly: CDGR accepts most of the time on mild instances.
+	d := dist.Uniform(512)
+	if got := rate(t, NewCDGR16(), d, 1, 0.5, 10, 5); got < 0.7 {
+		t.Fatalf("cdgr accept rate on uniform = %v", got)
+	}
+}
+
+func TestCDGRSoundness(t *testing.T) {
+	d := gen.Comb(512)
+	if got := rate(t, NewCDGR16(), d, 4, 0.45, 10, 6); got > 0.3 {
+		t.Fatalf("cdgr accept rate on comb = %v", got)
+	}
+}
+
+func TestILRCompleteness(t *testing.T) {
+	d := dist.Uniform(512)
+	if got := rate(t, NewILR12(), d, 1, 0.5, 10, 7); got < 0.7 {
+		t.Fatalf("ilr accept rate on uniform = %v", got)
+	}
+}
+
+func TestILRSoundness(t *testing.T) {
+	d := gen.Comb(512)
+	if got := rate(t, NewILR12(), d, 4, 0.45, 10, 8); got > 0.3 {
+		t.Fatalf("ilr accept rate on comb = %v", got)
+	}
+}
+
+func TestCollisionUniform(t *testing.T) {
+	if got := rate(t, NewCollision(), dist.Uniform(1024), 1, 0.3, 20, 9); got < 0.8 {
+		t.Fatalf("collision accept rate on uniform = %v", got)
+	}
+}
+
+func TestCollisionFar(t *testing.T) {
+	// Half the elements carry double mass: ℓ2 well above uniform.
+	n := 1024
+	p := make([]float64, n)
+	for i := range p {
+		if i%2 == 0 {
+			p[i] = 2.0 / float64(n)
+		}
+	}
+	d := dist.MustDense(p)
+	if got := rate(t, NewCollision(), d, 1, 0.3, 20, 10); got > 0.2 {
+		t.Fatalf("collision accept rate on far = %v", got)
+	}
+}
+
+func TestCollisionRejectsKNotOne(t *testing.T) {
+	r := rng.New(11)
+	s := oracle.NewSampler(dist.Uniform(64), r)
+	if _, err := NewCollision().Run(s, r, 2, 0.3); err == nil {
+		t.Fatal("k=2 accepted by uniformity tester")
+	}
+}
+
+func TestCanonneAdapter(t *testing.T) {
+	d := dist.Uniform(512)
+	if got := rate(t, NewCanonne(), d, 1, 0.5, 8, 12); got < 0.7 {
+		t.Fatalf("canonne adapter accept rate = %v", got)
+	}
+}
+
+func TestWithScaleChangesBudget(t *testing.T) {
+	r := rng.New(13)
+	d := dist.Uniform(256)
+	for _, tester := range []Tester{NewNaive(), NewCDGR16(), NewILR12(), NewCollision(), NewCanonne()} {
+		k := 1
+		s1 := oracle.NewSampler(d, r)
+		full, err := tester.Run(s1, r, k, 0.5)
+		if err != nil {
+			t.Fatalf("%s: %v", tester.Name(), err)
+		}
+		s2 := oracle.NewSampler(d, r)
+		half, err := tester.WithScale(0.25).Run(s2, r, k, 0.5)
+		if err != nil {
+			t.Fatalf("%s scaled: %v", tester.Name(), err)
+		}
+		if half.Samples >= full.Samples {
+			t.Fatalf("%s: scale 0.25 used %d >= %d samples", tester.Name(), half.Samples, full.Samples)
+		}
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, tester := range []Tester{NewNaive(), NewCDGR16(), NewILR12(), NewCollision(), NewCanonne()} {
+		if seen[tester.Name()] {
+			t.Fatalf("duplicate tester name %q", tester.Name())
+		}
+		seen[tester.Name()] = true
+	}
+}

@@ -1,0 +1,57 @@
+// Package cli holds the small helpers shared by the command-line tools:
+// dataset parsing and source adaptation.
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadValues parses whitespace-separated integers from the named file, or
+// from stdin when path is empty.
+func ReadValues(path string) ([]int, error) {
+	var rd io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rd = f
+	}
+	return ParseValues(rd)
+}
+
+// ParseValues parses whitespace-separated integers from rd.
+func ParseValues(rd io.Reader) ([]int, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Split(bufio.ScanWords)
+	var out []int
+	for sc.Scan() {
+		v, err := strconv.Atoi(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", sc.Text(), err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}
+
+// CyclingSource adapts a finite dataset to a func() int sample source by
+// cycling through it (adequate when the dataset is much larger than the
+// consumer's budget). It returns an error for an empty dataset.
+func CyclingSource(data []int) (func() int, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("cli: empty dataset")
+	}
+	idx := 0
+	return func() int {
+		v := data[idx%len(data)]
+		idx++
+		return v
+	}, nil
+}

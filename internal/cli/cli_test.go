@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseValues(t *testing.T) {
+	got, err := ParseValues(strings.NewReader(" 1 2\n3\t4  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := ParseValues(strings.NewReader("1 x 3")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	empty, err := ParseValues(strings.NewReader(""))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty input: %v %v", empty, err)
+	}
+}
+
+func TestReadValuesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vals.txt")
+	if err := os.WriteFile(path, []byte("7 8 9"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadValues(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 9 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := ReadValues(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCyclingSource(t *testing.T) {
+	src, err := CyclingSource([]int{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 5, 4, 5, 4}
+	for i, w := range want {
+		if got := src(); got != w {
+			t.Fatalf("draw %d = %d, want %d", i, got, w)
+		}
+	}
+	if _, err := CyclingSource(nil); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/chisq"
+	"repro/internal/dist"
+	"repro/internal/histdp"
+	"repro/internal/intervals"
+	"repro/internal/learn"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Stage names identify where a rejection (or the final acceptance)
+// happened; they appear in Trace.RejectStage.
+const (
+	StageSieveHeavy  = "sieve-heavy"  // more than k intervals above the heavy cutoff
+	StageSieveStuck  = "sieve-stuck"  // residual target unreachable by removals
+	StageDiscardMass = "discard-mass" // sieve wanted to discard too much mass
+	StageCheck       = "check"        // learned D̂ is far from H_k on G
+	StageTest        = "test"         // final χ²-vs-TV test rejected
+)
+
+// Trace records what one tester invocation did — stage sample counts,
+// sieve activity, and the deciding statistics. The experiment harness
+// aggregates these.
+type Trace struct {
+	N, K           int     // domain size, partition size
+	B              float64 // ApproxPart parameter
+	SieveRoundsRun int
+
+	PartitionSamples int64
+	LearnSamples     int64
+	SieveSamples     int64
+	TestSamples      int64
+
+	RemovedHeavy  int     // stage-1 removals
+	RemovedRounds int     // stage-2 removals
+	RemovedMass   float64 // D̂-mass of removed intervals
+
+	CheckRelaxed float64 // DP distance of D̂ to H_k on G
+	FinalZ       float64 // final test statistic (0 if not reached)
+	FinalThresh  float64
+
+	RejectStage  string // empty on accept
+	RejectReason string
+}
+
+// TotalSamples returns the total sample count across all stages.
+func (t *Trace) TotalSamples() int64 {
+	return t.PartitionSamples + t.LearnSamples + t.SieveSamples + t.TestSamples
+}
+
+// Result is the outcome of one invocation of the tester.
+type Result struct {
+	Accept bool
+	Trace  Trace
+	// Learned is the hypothesis D̂ built by the learning stage (nil when
+	// the trivial k >= n path accepted).
+	Learned *dist.PiecewiseConstant
+	// Domain is the sieved sub-domain G the final decision was made on.
+	Domain *intervals.Domain
+}
+
+// Test runs Algorithm 1: decide whether the distribution behind o is a
+// k-histogram (accept) or ε-far from every k-histogram (reject), each
+// with probability at least 2/3 under the configured constants.
+//
+// Mapping to the paper's Algorithm 1 (line numbers from the listing):
+//
+//	Require (parameters k, ε; sample access)  →  the function arguments
+//	1  b = 20k·log k/ε, ε0 = 13ε/30           →  cfg.PartB, cfg.TestEpsFactor·ε
+//	2-3  Learning: ApproxPart(b) → I           →  learn.ApproxPart (Prop 3.4)
+//	4  Learner(K, ε/60, I) → D̂                →  learn.Learn (Lemma 3.5)
+//	6-7  Sieving: discard O(k log k) intervals →  stage 3a (heavy cutoff) +
+//	     per §3.2.1                               stage 3b (halving rounds) on
+//	                                              chisq.ZPerInterval medians
+//	9-10 Checking: ∃D* ∈ H_k close to D̂ on G  →  histdp.ProjectTV (the
+//	     by dynamic programming                   [CDGR16, Lemma 4.11] DP)
+//	12-13 Testing: Tester(n, ε0, D̂) on G       →  chisq.Test (Theorem 3.2)
+//	14 accept                                   →  the final return
+//
+// Each stage draws fresh samples; Trace records the per-stage accounting.
+func Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result, error) {
+	n := o.N()
+	if k < 1 {
+		return nil, fmt.Errorf("core: k = %d must be positive", k)
+	}
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("core: eps = %v must be in (0, 1]", eps)
+	}
+	if k >= n {
+		// Every distribution over [n] is an n-histogram.
+		return &Result{Accept: true, Domain: intervals.FullDomain(n)}, nil
+	}
+	if est := ExpectedSamples(n, k, eps, cfg); est > cfg.maxSamples() {
+		return nil, fmt.Errorf("core: nominal budget %d samples exceeds the guard %d; lower the constants (Config.Scale) or raise Config.MaxSamples", est, cfg.maxSamples())
+	}
+
+	tr := Trace{N: n}
+	mark := o.Samples()
+	took := func() int64 {
+		d := o.Samples() - mark
+		mark = o.Samples()
+		return d
+	}
+
+	// Stage 1: partition (Proposition 3.4).
+	b := cfg.PartB(k, eps)
+	tr.B = b
+	part, err := learn.ApproxPart(o, r, b, cfg.PartSampleC)
+	if err != nil {
+		return nil, err
+	}
+	p := part.Partition
+	K := p.Count()
+	tr.K = K
+	tr.PartitionSamples = took()
+
+	// Stage 2: learn (Lemma 3.5).
+	dhat, _ := learn.Learn(o, r, p, eps/cfg.LearnEpsDivisor, cfg.LearnSampleC)
+	tr.LearnSamples = took()
+
+	// Stage 3: sieve (§3.2.1).
+	alpha := cfg.Alpha(eps)
+	mSieve := cfg.SieveMFactor * math.Sqrt(float64(n)) / (alpha * alpha)
+	tau := cfg.Chi.TruncFactor * eps / float64(n)
+	reps := cfg.sieveReps(k)
+
+	keep := make([]bool, K)
+	for j := range keep {
+		keep[j] = true
+	}
+	domain := func() *intervals.Domain { return intervals.FromPartitionSubset(p, keep) }
+
+	// computeZs draws fresh Poissonized samples reps times and returns the
+	// per-interval medians.
+	computeZs := func() []float64 {
+		g := domain()
+		med := make([][]float64, reps)
+		for t := 0; t < reps; t++ {
+			counts := oracle.NewCounts(n, oracle.DrawPoisson(o, r, mSieve))
+			med[t] = chisq.ZPerInterval(counts, dhat, p, g, mSieve, tau)
+		}
+		zs := make([]float64, K)
+		col := make([]float64, reps)
+		for j := 0; j < K; j++ {
+			for t := 0; t < reps; t++ {
+				col[t] = med[t][j]
+			}
+			zs[j] = stats.Median(col)
+		}
+		return zs
+	}
+
+	removable := func(j int) bool { return keep[j] && p.Interval(j).Len() > 1 }
+	remove := func(j int) {
+		keep[j] = false
+		tr.RemovedMass += dhat.IntervalMass(p.Interval(j))
+	}
+	reject := func(stage, reason string) (*Result, error) {
+		tr.RejectStage = stage
+		tr.RejectReason = reason
+		return &Result{Accept: false, Trace: tr, Learned: dhat, Domain: domain()}, nil
+	}
+
+	// Stage 3a: discard the heavy offenders.
+	zs := computeZs()
+	heavyThr := cfg.SieveHeavyFactor * mSieve * alpha * alpha
+	var heavyIdx []int
+	for j := 0; j < K; j++ {
+		if removable(j) && zs[j] > heavyThr {
+			heavyIdx = append(heavyIdx, j)
+		}
+	}
+	if len(heavyIdx) > k {
+		tr.SieveSamples = took()
+		return reject(StageSieveHeavy, fmt.Sprintf("%d intervals above the heavy cutoff, k = %d", len(heavyIdx), k))
+	}
+	for _, j := range heavyIdx {
+		remove(j)
+	}
+	tr.RemovedHeavy = len(heavyIdx)
+	if tr.RemovedMass > cfg.DiscardMassCap*eps {
+		tr.SieveSamples = took()
+		return reject(StageDiscardMass, fmt.Sprintf("discarded mass %.4f exceeds cap %.4f", tr.RemovedMass, cfg.DiscardMassCap*eps))
+	}
+
+	// Stage 3b: iterative halving rounds.
+	acceptThr := cfg.SieveAcceptFactor * mSieve * alpha * alpha
+	residualThr := cfg.SieveResidualFactor * mSieve * alpha * alpha
+	rounds := cfg.SieveRounds(k)
+	for round := 0; round < rounds; round++ {
+		tr.SieveRoundsRun = round + 1
+		zs = computeZs()
+		total := 0.0
+		for j := 0; j < K; j++ {
+			if keep[j] {
+				total += zs[j]
+			}
+		}
+		if total < acceptThr {
+			break
+		}
+		// Remove the largest Z_j (non-singletons only) until the survivors
+		// sum below the residual target.
+		order := make([]int, 0, K)
+		for j := 0; j < K; j++ {
+			if removable(j) {
+				order = append(order, j)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return zs[order[a]] > zs[order[b]] })
+		for _, j := range order {
+			if total <= residualThr {
+				break
+			}
+			total -= zs[j]
+			remove(j)
+			tr.RemovedRounds++
+			if tr.RemovedMass > cfg.DiscardMassCap*eps {
+				tr.SieveSamples = took()
+				return reject(StageDiscardMass, fmt.Sprintf("discarded mass %.4f exceeds cap %.4f", tr.RemovedMass, cfg.DiscardMassCap*eps))
+			}
+		}
+		if total > residualThr {
+			tr.SieveSamples = took()
+			return reject(StageSieveStuck, "residual statistic cannot be brought below target by removals")
+		}
+	}
+	tr.SieveSamples = took()
+	g := domain()
+
+	// Stage 4: check that some k-histogram is close to D̂ on G (Step 10 of
+	// Algorithm 1, via the DP of histdp).
+	if !cfg.SkipCheck {
+		proj, err := histdp.ProjectTV(dhat, k, g)
+		if err != nil {
+			return nil, fmt.Errorf("core: check DP failed: %w", err)
+		}
+		tr.CheckRelaxed = proj.Relaxed
+		tol := eps / cfg.CheckTolDivisor
+		if proj.Relaxed > tol {
+			return reject(StageCheck, fmt.Sprintf("distance of D̂ to H_k on G is %.5f > tolerance %.5f", proj.Relaxed, tol))
+		}
+	}
+
+	// Stage 5: final χ²-vs-TV test of D against D̂ on G with fresh samples.
+	res := chisq.Test(o, r, dhat, g, cfg.TestEpsFactor*eps, cfg.Chi)
+	tr.TestSamples = took()
+	tr.FinalZ = res.Z
+	tr.FinalThresh = res.Threshold
+	if !res.Accept {
+		return reject(StageTest, fmt.Sprintf("final statistic %.1f above threshold %.1f", res.Z, res.Threshold))
+	}
+	return &Result{Accept: true, Trace: tr, Learned: dhat, Domain: g}, nil
+}
+
+// ExpectedSamples returns the nominal total sample budget of one Test
+// invocation (partition + learn + sieve rounds + final test), matching the
+// Theorem 3.1 accounting. Useful for sizing experiments without running
+// the tester.
+func ExpectedSamples(n, k int, eps float64, cfg Config) int64 {
+	b := cfg.PartB(k, eps)
+	partM := learn.ApproxPartSamples(b, cfg.PartSampleC)
+	// ApproxPart yields K <= ~7b/3 + #heavy + 2 intervals.
+	K := int(7*b/3) + 2
+	learnM := learn.LearnSamples(K, eps/cfg.LearnEpsDivisor, cfg.LearnSampleC)
+	alpha := cfg.Alpha(eps)
+	mSieve := cfg.SieveMFactor * math.Sqrt(float64(n)) / (alpha * alpha)
+	sieveM := mSieve * float64(cfg.sieveReps(k)) * float64(cfg.SieveRounds(k)+1)
+	testM := cfg.Chi.SampleMean(n, cfg.TestEpsFactor*eps)
+	return int64(partM) + int64(learnM) + int64(sieveM) + int64(testM)
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/intervals"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+func TestKnownPartitionCompleteness(t *testing.T) {
+	r := rng.New(1)
+	n := 1024
+	part := intervals.FromBoundaries(n, []int{200, 512, 700})
+	d, err := dist.FromWeights(part, []float64{0.3, 0.25, 0.25, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := PracticalKnownPartition()
+	accepts := 0
+	const trials = 12
+	for i := 0; i < trials; i++ {
+		s := oracle.NewSampler(d, r.Split())
+		res, err := TestKnownPartition(s, r, part, 0.4, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accept {
+			accepts++
+		}
+		if res.Samples <= 0 {
+			t.Fatal("sample accounting missing")
+		}
+	}
+	if accepts < trials*3/4 {
+		t.Fatalf("known-partition completeness: %d/%d", accepts, trials)
+	}
+}
+
+func TestKnownPartitionMisalignedRejects(t *testing.T) {
+	// D is a legal 4-histogram, but NOT with respect to the queried Π:
+	// the known-partition problem is stricter than H_4 membership.
+	r := rng.New(2)
+	n := 1024
+	dPart := intervals.FromBoundaries(n, []int{100, 400, 800})
+	d, err := dist.FromWeights(dPart, []float64{0.45, 0.05, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queried := intervals.FromBoundaries(n, []int{256, 512, 768})
+	// Distance of D from Hist(queried) = TV(D, flattening over queried).
+	if got := dist.TV(d, dist.Flatten(d, queried)); got < 0.2 {
+		t.Fatalf("test instance too close to the queried class: %v", got)
+	}
+	params := PracticalKnownPartition()
+	rejects := 0
+	const trials = 12
+	for i := 0; i < trials; i++ {
+		s := oracle.NewSampler(d, r.Split())
+		res, err := TestKnownPartition(s, r, queried, 0.2, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accept {
+			rejects++
+		}
+	}
+	if rejects < trials*3/4 {
+		t.Fatalf("known-partition soundness: %d/%d", rejects, trials)
+	}
+}
+
+func TestKnownPartitionFarRejects(t *testing.T) {
+	r := rng.New(3)
+	n := 1024
+	part := intervals.EquiWidth(n, 4)
+	d := gen.Comb(n) // far from any 4-interval flattening
+	params := PracticalKnownPartition()
+	rejects := 0
+	const trials = 12
+	for i := 0; i < trials; i++ {
+		s := oracle.NewSampler(d, r.Split())
+		res, err := TestKnownPartition(s, r, part, 0.4, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accept {
+			rejects++
+		}
+	}
+	if rejects < trials*3/4 {
+		t.Fatalf("comb rejects: %d/%d", rejects, trials)
+	}
+}
+
+func TestKnownPartitionValidation(t *testing.T) {
+	r := rng.New(4)
+	s := oracle.NewSampler(dist.Uniform(16), r)
+	part := intervals.EquiWidth(16, 2)
+	if _, err := TestKnownPartition(s, r, part, 0, PracticalKnownPartition()); err == nil {
+		t.Fatal("eps = 0 accepted")
+	}
+	wrong := intervals.EquiWidth(17, 2)
+	if _, err := TestKnownPartition(s, r, wrong, 0.3, PracticalKnownPartition()); err == nil {
+		t.Fatal("mismatched partition accepted")
+	}
+}
+
+func TestKnownPartitionCheaperThanUnknown(t *testing.T) {
+	// The Section 1.2 remark: the known-partition problem is strictly
+	// easier. Nominal budgets reflect it by an order of magnitude.
+	n, k, eps := 4096, 4, 0.4
+	known := KnownPartitionExpectedSamples(n, k, eps, PracticalKnownPartition())
+	unknown := ExpectedSamples(n, k, eps, PracticalConfig())
+	if known*5 > unknown {
+		t.Fatalf("known-partition budget %d not far below unknown-partition %d", known, unknown)
+	}
+}

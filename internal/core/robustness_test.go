@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// TestRobustnessSweep runs the tester across randomized parameters and
+// instance shapes, asserting structural invariants of every outcome
+// regardless of the verdict: no errors or panics, trace/oracle sample
+// agreement, stage accounting, domain sanity, and discard-cap compliance.
+func TestRobustnessSweep(t *testing.T) {
+	r := rng.New(99)
+	cfg := PracticalConfig().Scale(0.25) // keep the sweep fast
+	for trial := 0; trial < 30; trial++ {
+		n := 64 << r.Intn(4) // 64..512
+		k := 1 + r.Intn(6)
+		eps := 0.3 + 0.4*r.Float64()
+
+		var d dist.Distribution
+		switch r.Intn(5) {
+		case 0:
+			d = gen.KHistogram(r, n, k)
+		case 1:
+			d = gen.Zipf(n, 0.5+r.Float64())
+		case 2:
+			d = gen.Staircase(n, 8+r.Intn(24))
+		case 3:
+			d = gen.GaussianMixture(n, []float64{float64(n) / 4, float64(n) / 2}, []float64{float64(n) / 16, float64(n) / 10}, []float64{1, 1})
+		default:
+			d = gen.KModal(r, n, 1+r.Intn(min(4, n/4)))
+		}
+
+		s := oracle.NewSampler(d, r.Split())
+		res, err := Test(s, r, k, eps, cfg)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d k=%d eps=%.2f): %v", trial, n, k, eps, err)
+		}
+		tr := res.Trace
+		if tr.TotalSamples() != s.Samples() {
+			t.Fatalf("trial %d: trace says %d samples, oracle counted %d", trial, tr.TotalSamples(), s.Samples())
+		}
+		if res.Domain == nil || res.Domain.N() != n {
+			t.Fatalf("trial %d: bad domain", trial)
+		}
+		if res.Learned == nil || res.Learned.N() != n {
+			t.Fatalf("trial %d: missing hypothesis", trial)
+		}
+		if res.Accept && tr.RejectStage != "" {
+			t.Fatalf("trial %d: accept with reject stage %q", trial, tr.RejectStage)
+		}
+		if !res.Accept && tr.RejectStage == "" {
+			t.Fatalf("trial %d: reject without stage", trial)
+		}
+		// An ACCEPT may never ride on more discarded mass than the cap —
+		// that is the soundness invariant the cap exists for.
+		if res.Accept && tr.RemovedMass > cfg.DiscardMassCap*eps+1e-9 {
+			t.Fatalf("trial %d (n=%d k=%d eps=%.3f): accepted after discarding %.4f above cap %.4f; trace %+v",
+				trial, n, k, eps, tr.RemovedMass, cfg.DiscardMassCap*eps, tr)
+		}
+		// The sieved domain shrinks by exactly the removed intervals.
+		if res.Domain.Size() > n {
+			t.Fatalf("trial %d: domain larger than universe", trial)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

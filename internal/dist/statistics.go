@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/intervals"
+)
+
+// CDF returns the cumulative probability P[X <= i] (so CDF(n-1) equals
+// the total mass). It panics outside [0, n).
+func CDF(d Distribution, i int) float64 {
+	if i < 0 || i >= d.N() {
+		panic(fmt.Sprintf("dist: CDF index %d outside [0,%d)", i, d.N()))
+	}
+	return d.IntervalMass(intervals.Interval{Lo: 0, Hi: i + 1})
+}
+
+// Quantile returns the smallest i with CDF(i) >= q·TotalMass, for
+// q in [0, 1]. Binary search over the CDF: O(log n · cost(IntervalMass)).
+func Quantile(d Distribution, q float64) int {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic("dist: quantile fraction outside [0,1]")
+	}
+	target := q * TotalMass(d)
+	lo, hi := 0, d.N()-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CDF(d, mid) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Mean returns the expected value Σ i·d(i) (for a normalized d).
+func Mean(d Distribution) float64 {
+	sum := 0.0
+	n := d.N()
+	for i := 0; i < n; {
+		end := d.RunEnd(i)
+		if end > n {
+			end = n
+		}
+		p := d.Prob(i)
+		if p != 0 {
+			// Σ_{j=i}^{end-1} j = (i+end-1)(end-i)/2.
+			sum += p * float64(i+end-1) * float64(end-i) / 2
+		}
+		i = end
+	}
+	return sum
+}
+
+// Variance returns the variance of the element index under d.
+func Variance(d Distribution) float64 {
+	mu := Mean(d)
+	sum := 0.0
+	n := d.N()
+	for i := 0; i < n; {
+		end := d.RunEnd(i)
+		if end > n {
+			end = n
+		}
+		p := d.Prob(i)
+		if p != 0 {
+			for j := i; j < end; j++ {
+				dlt := float64(j) - mu
+				sum += p * dlt * dlt
+			}
+		}
+		i = end
+	}
+	return sum
+}
+
+// Entropy returns the Shannon entropy Σ −d(i)·log2 d(i) in bits.
+func Entropy(d Distribution) float64 {
+	sum := 0.0
+	n := d.N()
+	for i := 0; i < n; {
+		end := d.RunEnd(i)
+		if end > n {
+			end = n
+		}
+		p := d.Prob(i)
+		if p > 0 {
+			sum -= float64(end-i) * p * math.Log2(p)
+		}
+		i = end
+	}
+	return sum
+}
+
+// Modality returns the number of "modes" of the probability mass function
+// in the k-modal sense of the paper (Section 1.2 remark on Theorem 1.2):
+// the number of maximal monotone runs of the pmf minus... concretely, the
+// number of direction changes (up→down or down→up) plus one, over the
+// value sequence with plateaus ignored. The uniform distribution has
+// modality 1; an alternating comb over n elements has modality ~n−1.
+// A distribution is "k-modal" when Modality <= k+1 in this counting.
+func Modality(d Distribution) int {
+	n := d.N()
+	prev := math.NaN()
+	lastDir := 0 // -1 falling, +1 rising, 0 unknown
+	changes := 0
+	for i := 0; i < n; {
+		end := d.RunEnd(i)
+		if end > n {
+			end = n
+		}
+		v := d.Prob(i)
+		if !math.IsNaN(prev) && v != prev {
+			dir := 1
+			if v < prev {
+				dir = -1
+			}
+			if lastDir != 0 && dir != lastDir {
+				changes++
+			}
+			lastDir = dir
+		}
+		prev = v
+		i = end
+	}
+	return changes + 1
+}

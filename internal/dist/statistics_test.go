@@ -1,0 +1,181 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCDF(t *testing.T) {
+	d := MustDense([]float64{0.1, 0.2, 0.3, 0.4})
+	wants := []float64{0.1, 0.3, 0.6, 1.0}
+	for i, w := range wants {
+		if got := CDF(d, i); !approx(got, w, eps) {
+			t.Fatalf("CDF(%d) = %v, want %v", i, got, w)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("CDF out of range did not panic")
+			}
+		}()
+		CDF(d, 4)
+	}()
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		d := randomPC(r, 5+r.Intn(60), 8)
+		prev := 0.0
+		for i := 0; i < d.N(); i++ {
+			c := CDF(d, i)
+			if c < prev-1e-12 {
+				t.Fatalf("CDF decreased at %d", i)
+			}
+			prev = c
+		}
+		if !approx(prev, 1, 1e-9) {
+			t.Fatalf("CDF(n-1) = %v", prev)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	d := MustDense([]float64{0.25, 0.25, 0.25, 0.25})
+	if Quantile(d, 0) != 0 || Quantile(d, 1) != 3 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if got := Quantile(d, 0.5); got != 1 {
+		t.Fatalf("median = %d", got)
+	}
+	// Point mass: every quantile is the atom.
+	pm := PointMass(10, 7)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := Quantile(pm, q); got != 7 {
+			t.Fatalf("point-mass quantile(%v) = %d", q, got)
+		}
+	}
+}
+
+func TestQuantileInverseProperty(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 30; trial++ {
+		d := randomPC(r, 10+r.Intn(50), 6)
+		for _, q := range []float64{0.1, 0.3, 0.5, 0.9} {
+			i := Quantile(d, q)
+			if CDF(d, i) < q-1e-9 {
+				t.Fatalf("CDF(Quantile(%v)) = %v < q", q, CDF(d, i))
+			}
+			if i > 0 && CDF(d, i-1) >= q+1e-9 {
+				t.Fatalf("Quantile(%v) = %d not minimal", q, i)
+			}
+		}
+	}
+}
+
+func TestMeanVarianceUniform(t *testing.T) {
+	u := Uniform(10)
+	if got := Mean(u); !approx(got, 4.5, 1e-9) {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Variance(u); !approx(got, 33.0/4.0, 1e-9) {
+		// Var of uniform over 0..9: (n²−1)/12 = 99/12 = 8.25.
+		t.Fatalf("Variance = %v", got)
+	}
+}
+
+func TestMeanMatchesDense(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		pc := randomPC(r, 10+r.Intn(80), 7)
+		dn := ToDense(pc)
+		want := 0.0
+		for i := 0; i < dn.N(); i++ {
+			want += float64(i) * dn.Prob(i)
+		}
+		if got := Mean(pc); !approx(got, want, 1e-9) {
+			t.Fatalf("Mean mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy(Uniform(8)); !approx(got, 3, 1e-9) {
+		t.Fatalf("Entropy(uniform 8) = %v, want 3 bits", got)
+	}
+	if got := Entropy(PointMass(8, 3)); !approx(got, 0, 1e-9) {
+		t.Fatalf("Entropy(point mass) = %v", got)
+	}
+	// Entropy is maximized by uniform.
+	d := MustDense([]float64{0.5, 0.2, 0.2, 0.05, 0.05, 0, 0, 0})
+	if Entropy(d) >= 3 {
+		t.Fatal("skewed entropy should be below uniform")
+	}
+}
+
+func TestModality(t *testing.T) {
+	if got := Modality(Uniform(16)); got != 1 {
+		t.Fatalf("uniform modality = %d", got)
+	}
+	// Monotone decreasing: one mode.
+	if got := Modality(MustDense([]float64{0.4, 0.3, 0.2, 0.1})); got != 1 {
+		t.Fatalf("monotone modality = %d", got)
+	}
+	// Single bump: up then down = one direction change + 1 = 2 in run
+	// counting; the pmf 1,3,1 changes direction once.
+	if got := Modality(MustDense([]float64{0.2, 0.6, 0.2})); got != 2 {
+		t.Fatalf("bump modality = %d", got)
+	}
+	// Alternating comb over 8: directions flip at every step.
+	comb := MustDense([]float64{0.25, 0, 0.25, 0, 0.25, 0, 0.25, 0})
+	if got := Modality(comb); got != 7 {
+		t.Fatalf("comb modality = %d", got)
+	}
+	// Plateaus are ignored: a staircase up is still unimodal.
+	if got := Modality(MustDense([]float64{0.1, 0.1, 0.2, 0.2, 0.4})); got != 1 {
+		t.Fatalf("staircase modality = %d", got)
+	}
+}
+
+func TestModalityBoundsHistogramComplexity(t *testing.T) {
+	// Modality <= piece count for piecewise-constant distributions: each
+	// direction change needs a piece boundary.
+	r := rng.New(4)
+	for trial := 0; trial < 40; trial++ {
+		d := randomPC(r, 10+r.Intn(100), 10)
+		if Modality(d) > d.Compact().PieceCount() {
+			t.Fatalf("modality %d > pieces %d", Modality(d), d.Compact().PieceCount())
+		}
+	}
+}
+
+func TestModalityOfPermutedSupport(t *testing.T) {
+	// The Section 4.2 remark: a sprinkled support of ℓ isolated points has
+	// modality ~2ℓ — far beyond any small k — which is how the Theorem 1.2
+	// lower bound transfers to k-modal testing.
+	r := rng.New(5)
+	n, ell := 512, 20
+	p := make([]float64, n)
+	perm := r.Perm(n)
+	for i := 0; i < ell; i++ {
+		p[perm[i]] = 1.0 / float64(ell)
+	}
+	d := MustDense(p)
+	if got := Modality(d); got < ell {
+		t.Fatalf("sprinkled support modality = %d, want >= %d", got, ell)
+	}
+}
+
+func TestStatisticsOnSubDistributions(t *testing.T) {
+	// CDF/Quantile tolerate non-normalized inputs (mass 0.5).
+	d := MustDense([]float64{0.25, 0.25})
+	if got := CDF(d, 1); !approx(got, 0.5, eps) {
+		t.Fatalf("CDF = %v", got)
+	}
+	if got := Quantile(d, 0.5); got != 0 {
+		t.Fatalf("sub-distribution quantile = %d", got)
+	}
+
+}

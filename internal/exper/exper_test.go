@@ -1,0 +1,194 @@
+package exper
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bbb"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	tb.Note("n = %d", 7)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a    bbb", "333", "note: n = 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.Contains(csv, "a,bbb\n1,2\n") || !strings.Contains(csv, "# demo") {
+		t.Fatalf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestAcceptRate(t *testing.T) {
+	r := rng.New(1)
+	res, err := AcceptRate(baselines.NewCollision(), Fixed(dist.Uniform(512)), 1, 0.3, 20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate < 0.8 {
+		t.Fatalf("uniform collision accept rate = %v", res.Rate)
+	}
+	if res.AvgSamples <= 0 || res.Trials != 20 {
+		t.Fatalf("accounting wrong: %+v", res)
+	}
+	if res.Lo > res.Rate || res.Hi < res.Rate {
+		t.Fatalf("CI does not contain rate: %+v", res)
+	}
+}
+
+func TestMinimalScaleFindsThreshold(t *testing.T) {
+	r := rng.New(2)
+	n := 1024
+	w := Workload{
+		K:   1,
+		Eps: 0.3,
+		Yes: Fixed(dist.Uniform(n)),
+		No: func(rr *rng.RNG) dist.Distribution {
+			d, _ := gen.BlockComb(dist.Uniform(n), 64, 0.35)
+			return d
+		},
+	}
+	search, err := MinimalScale(baselines.NewCollision(), w, 16, 1.0/64, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if search.Scale <= 0 || search.Samples <= 0 {
+		t.Fatalf("degenerate search result: %+v", search)
+	}
+	if search.YesRate < 0.65 || search.NoRate > 0.35 {
+		t.Fatalf("final scale does not pass: %+v", search)
+	}
+	// A collision tester needs more than a handful of samples here.
+	if search.Samples < 20 {
+		t.Fatalf("implausibly few samples: %v", search.Samples)
+	}
+}
+
+func TestMinimalScaleErrorsWhenImpossible(t *testing.T) {
+	r := rng.New(3)
+	// Yes and No identical: no budget can distinguish.
+	n := 256
+	w := Workload{K: 1, Eps: 0.3, Yes: Fixed(dist.Uniform(n)), No: Fixed(dist.Uniform(n))}
+	if _, err := MinimalScale(baselines.NewCollision(), w, 8, 0.5, r); err == nil {
+		t.Fatal("impossible workload should error out")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 13 {
+		t.Fatalf("registry has %d experiments", len(reg))
+	}
+	seen := map[string]bool{}
+	for i, e := range reg {
+		want := fmt.Sprintf("E%d", i+1)
+		if e.ID != want {
+			t.Fatalf("experiment %d has ID %s, want %s", i, e.ID, want)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("E7"); !ok {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID matched a ghost")
+	}
+}
+
+func TestHistWorkloadInstancesAreCorrect(t *testing.T) {
+	r := rng.New(4)
+	w := histWorkload(1024, 4, 0.4)
+	for i := 0; i < 3; i++ {
+		yes := w.Yes(r)
+		if pc, ok := yes.(*dist.PiecewiseConstant); !ok || pc.Compact().PieceCount() > 4 {
+			t.Fatal("yes instance not a 4-histogram")
+		}
+		_ = w.No(r) // construction verifies distance internally
+	}
+}
+
+// Smoke-run the cheap experiments end to end in Quick mode. The heavy
+// sample-complexity sweeps (E1–E3) are exercised by the benchmark harness
+// instead.
+func TestQuickExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	for _, id := range []string{"E5", "E9", "E11"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tables, err := e.Run(RunConfig{Seed: 7, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", id)
+		}
+		var buf bytes.Buffer
+		for _, tb := range tables {
+			if err := tb.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s produced an empty table %q", id, tb.Title)
+			}
+		}
+	}
+}
+
+func TestTableBars(t *testing.T) {
+	tb := NewSeries("series", 1, "x", "y")
+	tb.AddRow("a", "1.0")
+	tb.AddRow("b", "0.5")
+	tb.AddRow("c", "")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "|########################") {
+		t.Fatalf("full bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|############\n") {
+		t.Fatalf("half bar missing:\n%s", out)
+	}
+	// Plain tables have no bars.
+	plain := &Table{Title: "p", Header: []string{"x", "y"}}
+	plain.AddRow("a", "1.0")
+	buf.Reset()
+	if err := plain.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "|#") {
+		t.Fatal("plain table grew bars")
+	}
+}

@@ -1,0 +1,431 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/baselines"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/histdp"
+	"repro/internal/intervals"
+	"repro/internal/lowerbound"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// RunConfig selects the experiment fidelity.
+type RunConfig struct {
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Quick shrinks sweeps and trial counts to CI scale.
+	Quick bool
+	// Progress, if non-nil, receives one line per completed sweep point.
+	Progress io.Writer
+}
+
+func (rc RunConfig) rng() *rng.RNG {
+	if rc.Seed == 0 {
+		rc.Seed = 1
+	}
+	return rng.New(rc.Seed)
+}
+
+func (rc RunConfig) progress(format string, args ...any) {
+	if rc.Progress != nil {
+		fmt.Fprintf(rc.Progress, format+"\n", args...)
+	}
+}
+
+func (rc RunConfig) pick(quick, full int) int {
+	if rc.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment regenerates one theorem-level claim of the paper as tables.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(rc RunConfig) ([]*Table, error)
+}
+
+// Registry lists all experiments in index order (E1–E13).
+func Registry() []Experiment {
+	return []Experiment{e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(), e13()}
+}
+
+// ByID finds an experiment by its identifier ("E1" ... "E10").
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// histWorkload builds the standard yes/no workload: random k-histograms
+// vs block-comb perturbations whose distance to H_k is verified by the DP
+// to be at least eps before use.
+func histWorkload(n, k int, eps float64) Workload {
+	pairs := 64
+	if 16*k > pairs {
+		pairs = 16 * k
+	}
+	if 2*pairs > n {
+		pairs = n / 2
+	}
+	return Workload{
+		K:   k,
+		Eps: eps,
+		Yes: func(r *rng.RNG) dist.Distribution { return gen.KHistogram(r, n, k) },
+		No: func(r *rng.RNG) dist.Distribution {
+			for {
+				d := gen.FarFromHk(r, n, k, 0.5, pairs)
+				lower, _, err := histdp.DistanceToHk(d, k, intervals.FullDomain(n))
+				if err == nil && lower >= eps {
+					return d
+				}
+			}
+		},
+	}
+}
+
+// --- E1: sample complexity scaling with n (Theorem 1.1, first term) ---
+
+func e1() Experiment {
+	return Experiment{
+		ID:    "E1",
+		Title: "Empirical sample complexity of the tester vs domain size n",
+		Claim: "Theorem 1.1: the n-dependent term grows as Θ(√n/ε²·log k) — m*/√n is flat as n grows 64-fold",
+		Run: func(rc RunConfig) ([]*Table, error) {
+			r := rc.rng()
+			ns := []int{1 << 10, 1 << 12, 1 << 14}
+			if !rc.Quick {
+				ns = append(ns, 1<<16)
+			}
+			k, eps := 4, 0.4
+			trials := rc.pick(8, 16)
+			tb := &Table{
+				Title:  "E1: minimal sample budget m* vs n (k=4, ε=0.4)",
+				Header: []string{"n", "scale*", "m*", "m*/sqrt(n)", "yes-rate", "no-rate"},
+			}
+			for _, n := range ns {
+				search, err := MinimalScale(baselines.NewCanonne(), histWorkload(n, k, eps), trials, 1.0/256, r)
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRow(
+					fmt.Sprintf("%d", n),
+					fmt.Sprintf("%.4f", search.Scale),
+					fmtCount(search.Samples),
+					fmt.Sprintf("%.0f", search.Samples/math.Sqrt(float64(n))),
+					fmt.Sprintf("%.2f", search.YesRate),
+					fmt.Sprintf("%.2f", search.NoRate),
+				)
+				rc.progress("E1: n=%d done (m*=%s)", n, fmtCount(search.Samples))
+			}
+			tb.Note("paper claim: m*/√n stays within a small constant factor across the sweep")
+			tb.Note("trials per rate estimate: %d; pass = yes-rate >= 0.65 and no-rate <= 0.35", trials)
+			return []*Table{tb}, nil
+		},
+	}
+}
+
+// --- E2: sample complexity scaling with k (Theorem 1.1, second term) ---
+
+func e2() Experiment {
+	return Experiment{
+		ID:    "E2",
+		Title: "Empirical sample complexity of the tester vs histogram class size k",
+		Claim: "Theorem 1.1: the k-dependent term grows near-linearly in k (k/ε³·polylog k), decoupled from n",
+		Run: func(rc RunConfig) ([]*Table, error) {
+			r := rc.rng()
+			ks := []int{1, 2, 4}
+			if !rc.Quick {
+				ks = append(ks, 8, 16)
+			}
+			n, eps := 4096, 0.4
+			trials := rc.pick(8, 16)
+			tb := &Table{
+				Title:  "E2: minimal sample budget m* vs k (n=4096, ε=0.4)",
+				Header: []string{"k", "scale*", "m*", "m*/k", "yes-rate", "no-rate"},
+			}
+			for _, k := range ks {
+				search, err := MinimalScale(baselines.NewCanonne(), histWorkload(n, k, eps), trials, 1.0/256, r)
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRow(
+					fmt.Sprintf("%d", k),
+					fmt.Sprintf("%.4f", search.Scale),
+					fmtCount(search.Samples),
+					fmtCount(search.Samples/float64(k)),
+					fmt.Sprintf("%.2f", search.YesRate),
+					fmt.Sprintf("%.2f", search.NoRate),
+				)
+				rc.progress("E2: k=%d done (m*=%s)", k, fmtCount(search.Samples))
+			}
+			tb.Note("paper claim: growth in k is near-linear (up to polylog), NOT multiplicative with √n")
+			return []*Table{tb}, nil
+		},
+	}
+}
+
+// --- E3: head-to-head against the prior algorithms (Section 1.2) ---
+
+func e3() Experiment {
+	return Experiment{
+		ID:    "E3",
+		Title: "Sample complexity comparison against ILR12, CDGR16, and the naive learner",
+		Claim: "Section 1.2: the tester beats the O(√(kn)/ε⁵ log n) [ILR12] and O(√(kn)/ε³ log n) [CDGR16] bounds; the naive learner pays Θ(n/ε²) and is only competitive at small n",
+		Run: func(rc RunConfig) ([]*Table, error) {
+			r := rc.rng()
+			ns := []int{1 << 10, 1 << 12}
+			if !rc.Quick {
+				ns = append(ns, 1<<14)
+			}
+			k, eps := 4, 0.4
+			trials := rc.pick(8, 12)
+			testers := []baselines.Tester{
+				baselines.NewCanonne(),
+				baselines.NewCDGR16(),
+				baselines.NewILR12(),
+				baselines.NewNaive(),
+			}
+			tb := &Table{
+				Title:  "E3: minimal sample budget m* per tester (k=4, ε=0.4)",
+				Header: append([]string{"n"}, testerNames(testers)...),
+			}
+			for _, n := range ns {
+				w := histWorkload(n, k, eps)
+				row := []string{fmt.Sprintf("%d", n)}
+				for _, tester := range testers {
+					search, err := MinimalScale(tester, w, trials, 1.0/256, r)
+					switch {
+					case errors.Is(err, ErrNoPassingScale):
+						// The no-sieve baseline fails completeness on
+						// histograms with heavy breakpoints at EVERY
+						// budget — the phenomenon E8 isolates.
+						row = append(row, "fails*")
+						rc.progress("E3: n=%d %s fails at all budgets", n, tester.Name())
+					case err != nil:
+						return nil, err
+					default:
+						row = append(row, fmtCount(search.Samples))
+						rc.progress("E3: n=%d %s done (m*=%s)", n, tester.Name(), fmtCount(search.Samples))
+					}
+				}
+				tb.AddRow(row...)
+			}
+			tb.Note("paper claim: canonne16 grows ~√n; naive-learn grows ~n and crosses over; the flatness-testing ILR12 pays extra ε factors")
+			tb.Note("'fails*' = no budget distinguishes: without the sieve, breakpoint intervals poison the χ² identity test on legal histograms (see E8)")
+			return []*Table{tb}, nil
+		},
+	}
+}
+
+func testerNames(ts []baselines.Tester) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name()
+	}
+	return out
+}
+
+// --- E4: the Paninski family needs Ω(√n/ε²) samples (Proposition 4.1) ---
+
+func e4() Experiment {
+	return Experiment{
+		ID:    "E4",
+		Title: "Hardness of the Paninski family Q_ε",
+		Claim: "Proposition 4.1: members of Q_ε are ε-far from H_k yet indistinguishable from uniform below ~√n/ε² samples",
+		Run: func(rc RunConfig) ([]*Table, error) {
+			r := rc.rng()
+			const c = 6.0
+			eps := 1.0 / 6 // the largest ε with c·ε <= 1
+			paninski := func(n int) Instance {
+				return func(rr *rng.RNG) dist.Distribution {
+					d, err := lowerbound.Paninski(rr, n, eps, c)
+					if err != nil {
+						panic(err)
+					}
+					return d
+				}
+			}
+
+			// Table A: collision tester sweep at two domain sizes.
+			scales := []float64{1.0 / 32, 1.0 / 8, 1.0 / 2, 2}
+			if !rc.Quick {
+				scales = []float64{1.0 / 64, 1.0 / 16, 1.0 / 4, 1, 4}
+			}
+			trials := rc.pick(20, 40)
+			ta := &Table{
+				Title:  "E4a: collision tester on uniform vs Q_ε (accept rates; ε=1/6, c=6)",
+				Header: []string{"n", "samples", "accept(uniform)", "accept(Q_eps)", "distinguishes"},
+			}
+			for _, n := range []int{1 << 10, 1 << 14} {
+				for _, s := range scales {
+					tester := baselines.NewCollision().WithScale(s)
+					yes, err := AcceptRate(tester, Fixed(dist.Uniform(n)), 1, eps, trials, r)
+					if err != nil {
+						return nil, err
+					}
+					no, err := AcceptRate(tester, paninski(n), 1, eps, trials, r)
+					if err != nil {
+						return nil, err
+					}
+					ta.AddRow(
+						fmt.Sprintf("%d", n),
+						fmtCount(yes.AvgSamples),
+						fmt.Sprintf("%.2f", yes.Rate),
+						fmt.Sprintf("%.2f", no.Rate),
+						yesNo(yes.Rate >= 0.65 && no.Rate <= 0.35),
+					)
+				}
+				rc.progress("E4: collision sweep n=%d done", n)
+			}
+			ta.Note("paper claim: the distinguishing threshold in samples grows ~√n — compare where 'distinguishes' flips between the two n blocks")
+
+			// Table B: the full histogram tester on the same family.
+			tbScales := []float64{1.0 / 4, 1}
+			if !rc.Quick {
+				tbScales = []float64{1.0 / 16, 1.0 / 4, 1}
+			}
+			tbTrials := rc.pick(6, 12)
+			tb := &Table{
+				Title:  "E4b: histogram tester (k=1) on uniform vs Q_ε, n=1024",
+				Header: []string{"scale", "samples", "accept(uniform)", "accept(Q_eps)"},
+			}
+			n := 1 << 10
+			for _, s := range tbScales {
+				tester := baselines.NewCanonne().WithScale(s)
+				yes, err := AcceptRate(tester, Fixed(dist.Uniform(n)), 1, eps, tbTrials, r)
+				if err != nil {
+					return nil, err
+				}
+				no, err := AcceptRate(tester, paninski(n), 1, eps, tbTrials, r)
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRow(
+					fmt.Sprintf("%.4f", s),
+					fmtCount(yes.AvgSamples),
+					fmt.Sprintf("%.2f", yes.Rate),
+					fmt.Sprintf("%.2f", no.Rate),
+				)
+				rc.progress("E4: canonne scale=%.3f done", s)
+			}
+			tb.Note("every Q_ε member is ε-far from H_k for all k < n/3 (verified exactly in the test suite)")
+			return []*Table{ta, tb}, nil
+		},
+	}
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// --- E5: support-size reduction (Proposition 4.2 + Lemma 4.4) ---
+
+func e5() Experiment {
+	return Experiment{
+		ID:    "E5",
+		Title: "Support-size reduction and the cover lemma",
+		Claim: "Prop 4.2/Lemma 4.4: permuting embeds support size into histogram complexity; a correct H_k tester solves SUPPSIZE, an under-budgeted one cannot",
+		Run: func(rc RunConfig) ([]*Table, error) {
+			r := rc.rng()
+
+			// Table A: Monte-Carlo check of Lemma 4.4.
+			n := 7000
+			coverTrials := rc.pick(200, 1000)
+			ta := &Table{
+				Title:  "E5a: Lemma 4.4 — Pr[cover(σ(S)) <= 6ℓ/7] for |S| = ℓ, n = 7000",
+				Header: []string{"ell", "bound 7ell/n", "empirical Pr", "mean cover/ell"},
+			}
+			for _, ell := range []int{25, 50, 100} {
+				low := 0
+				sum := 0.0
+				for i := 0; i < coverTrials; i++ {
+					cv := lowerbound.PermutedSupportCover(r, n, ell)
+					if cv <= 6*ell/7 {
+						low++
+					}
+					sum += float64(cv) / float64(ell)
+				}
+				ta.AddRow(
+					fmt.Sprintf("%d", ell),
+					fmt.Sprintf("%.3f", 7*float64(ell)/float64(n)),
+					fmt.Sprintf("%.3f", float64(low)/float64(coverTrials)),
+					fmt.Sprintf("%.3f", sum/float64(coverTrials)),
+				)
+			}
+			ta.Note("paper claim: the empirical probability sits below the 7ℓ/n bound")
+			rc.progress("E5: cover table done")
+
+			// Table B: the reduction run end-to-end with an affordable tester.
+			m := 30
+			nBig := 2100
+			rd, err := lowerbound.NewReduction(nBig, m)
+			if err != nil {
+				return nil, err
+			}
+			small, err := lowerbound.SupportInstance(m, lowerbound.SmallSupport(m))
+			if err != nil {
+				return nil, err
+			}
+			large, err := lowerbound.SupportInstance(m, lowerbound.LargeSupport(m))
+			if err != nil {
+				return nil, err
+			}
+			redTrials := rc.pick(6, 12)
+			tb := &Table{
+				Title:  fmt.Sprintf("E5b: SUPPSIZE via the reduction (m=%d, n=%d, k=%d, ε₁=1/24), naive-learn tester", m, nBig, rd.K()),
+				Header: []string{"budget", "side", "accept rate", "avg samples"},
+			}
+			for _, scale := range []float64{1, 1.0 / 50} {
+				tester := baselines.NewNaive().WithScale(scale)
+				for _, side := range []struct {
+					name string
+					d    *dist.Dense
+				}{{"small (ss=10)", small}, {"large (ss=26)", large}} {
+					accepts := 0
+					var samples int64
+					for i := 0; i < redTrials; i++ {
+						inner := oracle.NewSampler(side.d, r.Split())
+						emb, err := rd.Embed(inner, r)
+						if err != nil {
+							return nil, err
+						}
+						dec, err := tester.Run(emb, r, rd.K(), rd.Eps())
+						if err != nil {
+							return nil, err
+						}
+						if dec.Accept {
+							accepts++
+						}
+						samples += dec.Samples
+					}
+					tb.AddRow(
+						fmt.Sprintf("%.3f", scale),
+						side.name,
+						fmt.Sprintf("%.2f", float64(accepts)/float64(redTrials)),
+						fmtCount(float64(samples)/float64(redTrials)),
+					)
+				}
+				rc.progress("E5: reduction at scale %.3f done", scale)
+			}
+			tb.Note("paper claim: at full budget the tester separates the promise sides; at 1/50 budget it cannot — SUPPSIZE hardness transfers to H_k testing")
+			tb.Note("the paper-constant tester at these parameters would need ~%s samples (ExpectedSamples), which is why the affordable naive tester drives the reduction here", fmtCount(float64(paperCostNote(nBig, rd.K(), rd.Eps()))))
+			return []*Table{ta, tb}, nil
+		},
+	}
+}

@@ -1,0 +1,115 @@
+package exper
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/intervals"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// knownPartTester adapts TestKnownPartition to the Tester interface: the
+// k parameter selects the equi-width partition Π = EquiWidth(n, k) that
+// both the workload and the tester agree on.
+type knownPartTester struct {
+	params core.KnownPartitionParams
+}
+
+func (t *knownPartTester) Name() string { return "known-partition" }
+
+func (t *knownPartTester) Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (baselines.Decision, error) {
+	part := intervals.EquiWidth(o.N(), k)
+	res, err := core.TestKnownPartition(o, r, part, eps, t.params)
+	if err != nil {
+		return baselines.Decision{}, err
+	}
+	return baselines.Decision{Accept: res.Accept, Samples: res.Samples}, nil
+}
+
+func (t *knownPartTester) WithScale(s float64) baselines.Tester {
+	p := t.params
+	p.LearnSampleC *= s
+	p.Chi.MFactor *= s
+	return &knownPartTester{params: p}
+}
+
+// --- E13: known vs unknown partition (the Section 1.2 [DK16] contrast) ---
+
+func e13() Experiment {
+	return Experiment{
+		ID:    "E13",
+		Title: "Known-partition testing vs the full (unknown-partition) problem",
+		Claim: "Section 1.2: given the partition Π explicitly, the problem is strictly easier — no sieve, no projection DP, and a smaller sample budget",
+		Run: func(rc RunConfig) ([]*Table, error) {
+			r := rc.rng()
+			k, eps := 4, 0.4
+			ns := []int{1 << 10, 1 << 12}
+			if !rc.Quick {
+				ns = append(ns, 1<<14)
+			}
+			trials := rc.pick(8, 16)
+			known := &knownPartTester{params: core.PracticalKnownPartition()}
+			full := baselines.NewCanonne()
+
+			tb := &Table{
+				Title:  fmt.Sprintf("E13: minimal sample budget, known vs unknown partition (k=%d, ε=%.2f)", k, eps),
+				Header: []string{"n", "known-partition m*", "unknown (full) m*", "ratio"},
+			}
+			for _, n := range ns {
+				// Workload aligned with Π = EquiWidth(n, k): yes instances
+				// are flat on Π; no instances are far from Hist(Π) AND from
+				// H_k, so both testers face the same decision.
+				part := intervals.EquiWidth(n, k)
+				w := Workload{
+					K:   k,
+					Eps: eps,
+					Yes: func(rr *rng.RNG) dist.Distribution {
+						masses := make([]float64, k)
+						total := 0.0
+						for j := range masses {
+							masses[j] = rr.Exponential() + 0.1
+							total += masses[j]
+						}
+						for j := range masses {
+							masses[j] /= total
+						}
+						d, err := dist.FromWeights(part, masses)
+						if err != nil {
+							panic(err)
+						}
+						return d
+					},
+					No: func(rr *rng.RNG) dist.Distribution {
+						for {
+							d := gen.FarFromHk(rr, n, k, 0.5, 64)
+							if dist.TV(d, dist.Flatten(d, part)) >= eps {
+								return d
+							}
+						}
+					},
+				}
+				kSearch, err := MinimalScale(known, w, trials, 1.0/256, r)
+				if err != nil {
+					return nil, err
+				}
+				fSearch, err := MinimalScale(full, w, trials, 1.0/256, r)
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRow(
+					fmt.Sprintf("%d", n),
+					fmtCount(kSearch.Samples),
+					fmtCount(fSearch.Samples),
+					fmt.Sprintf("%.1fx", fSearch.Samples/kSearch.Samples),
+				)
+				rc.progress("E13: n=%d done (known %s vs full %s)", n, fmtCount(kSearch.Samples), fmtCount(fSearch.Samples))
+			}
+			tb.Note("paper claim ([DK16] contrast): knowing Π removes the sieve and the DP — the budget gap is the price of not knowing the breakpoints")
+			return []*Table{tb}, nil
+		},
+	}
+}

@@ -1,0 +1,138 @@
+// Package exper is the experiment harness: it runs the testers on
+// controlled workloads, estimates accept rates with confidence intervals,
+// searches for empirical sample complexities, and renders the result
+// tables that EXPERIMENTS.md records. Each registered experiment (E1–E13)
+// regenerates one theorem-level claim of the paper; see DESIGN.md for the
+// index.
+package exper
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid with a caption of
+// notes (assumptions, parameters, the paper claim being checked).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// BarCol, when > 0, renders an ASCII bar next to each row,
+	// proportional to the numeric value in that column — the text-mode
+	// "figure" for series tables (sweeps, operating characteristics).
+	// Column 0 (the x-value) cannot be barred; zero disables bars.
+	BarCol int
+}
+
+// NewSeries returns a table whose barCol-th column (barCol >= 1) is
+// rendered as bars.
+func NewSeries(title string, barCol int, header ...string) *Table {
+	return &Table{Title: title, Header: header, BarCol: barCol}
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a caption line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	// Scale for the optional bar column.
+	const barWidth = 24
+	barMax := 0.0
+	if t.BarCol > 0 {
+		for _, row := range t.Rows {
+			if v, ok := cellValue(row, t.BarCol); ok && v > barMax {
+				barMax = v
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(t.Title + "\n")
+	line := func(cells []string, bar string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		if bar != "" {
+			b.WriteString("  |" + bar)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header, "")
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		bar := ""
+		if barMax > 0 && t.BarCol > 0 {
+			if v, ok := cellValue(row, t.BarCol); ok && v >= 0 {
+				bar = strings.Repeat("#", int(v/barMax*barWidth+0.5))
+			}
+		}
+		line(row, bar)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  note: " + n + "\n")
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (header + rows; notes as # comments).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("# " + t.Title + "\n")
+	for _, n := range t.Notes {
+		b.WriteString("# " + n + "\n")
+	}
+	b.WriteString(strings.Join(t.Header, ",") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// cellValue parses the leading numeric token of row[col].
+func cellValue(row []string, col int) (float64, bool) {
+	if col >= len(row) {
+		return 0, false
+	}
+	fields := strings.Fields(row[col])
+	if len(fields) == 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	return v, err == nil
+}

@@ -1,0 +1,135 @@
+package histbuild
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/intervals"
+)
+
+// Maintainer keeps an approximate equi-depth histogram under a stream of
+// inserts, in the split-and-merge style of Gibbons–Matias–Poosala
+// ([GMP97], cited in the paper's introduction for incremental histogram
+// maintenance): a bucket that accumulates more than a threshold share of
+// the total count splits at its midpoint, and when the bucket budget is
+// exceeded the lightest adjacent pair merges. Splitting at the midpoint
+// rather than the within-bucket median is the standard simplification
+// (the true median would need per-bucket sketches); repeated splits
+// converge on the same boundaries.
+type Maintainer struct {
+	n          int
+	maxBuckets int
+	splitFrac  float64
+	total      int64
+	bounds     []int   // len buckets+1, ascending, [0 ... n]
+	counts     []int64 // len buckets
+}
+
+// NewMaintainer returns a maintainer over [0, n) targeting maxBuckets
+// buckets. splitFrac (default 2 when <= 1) controls eagerness: a bucket
+// splits once it exceeds splitFrac·total/maxBuckets counts.
+func NewMaintainer(n, maxBuckets int, splitFrac float64) (*Maintainer, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("histbuild: domain size %d must be positive", n)
+	}
+	if maxBuckets < 1 || maxBuckets > n {
+		return nil, fmt.Errorf("histbuild: bucket budget %d out of [1, %d]", maxBuckets, n)
+	}
+	if splitFrac <= 1 {
+		splitFrac = 2
+	}
+	return &Maintainer{
+		n:          n,
+		maxBuckets: maxBuckets,
+		splitFrac:  splitFrac,
+		bounds:     []int{0, n},
+		counts:     []int64{0},
+	}, nil
+}
+
+// Insert records one value.
+func (m *Maintainer) Insert(v int) {
+	if v < 0 || v >= m.n {
+		panic(fmt.Sprintf("histbuild: value %d outside [0,%d)", v, m.n))
+	}
+	b := m.find(v)
+	m.counts[b]++
+	m.total++
+	thr := int64(m.splitFrac * float64(m.total) / float64(m.maxBuckets))
+	if m.counts[b] > thr && thr > 0 {
+		m.split(b)
+		for len(m.counts) > m.maxBuckets {
+			m.mergeLightest()
+		}
+	}
+}
+
+// find returns the bucket index containing v (binary search).
+func (m *Maintainer) find(v int) int {
+	lo, hi := 0, len(m.counts)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.bounds[mid+1] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// split halves bucket b at its midpoint (no-op for singleton buckets).
+func (m *Maintainer) split(b int) {
+	lo, hi := m.bounds[b], m.bounds[b+1]
+	if hi-lo < 2 {
+		return
+	}
+	mid := (lo + hi) / 2
+	left := m.counts[b] / 2
+	right := m.counts[b] - left
+	m.bounds = append(m.bounds, 0)
+	copy(m.bounds[b+2:], m.bounds[b+1:])
+	m.bounds[b+1] = mid
+	m.counts = append(m.counts, 0)
+	copy(m.counts[b+1:], m.counts[b:])
+	m.counts[b] = left
+	m.counts[b+1] = right
+}
+
+// mergeLightest merges the adjacent pair with the smallest combined count.
+func (m *Maintainer) mergeLightest() {
+	if len(m.counts) < 2 {
+		return
+	}
+	best, bestSum := 0, m.counts[0]+m.counts[1]
+	for i := 1; i+1 < len(m.counts); i++ {
+		if s := m.counts[i] + m.counts[i+1]; s < bestSum {
+			best, bestSum = i, s
+		}
+	}
+	m.counts[best] += m.counts[best+1]
+	m.counts = append(m.counts[:best+1], m.counts[best+2:]...)
+	m.bounds = append(m.bounds[:best+1], m.bounds[best+2:]...)
+}
+
+// Buckets returns the current number of buckets.
+func (m *Maintainer) Buckets() int { return len(m.counts) }
+
+// Total returns the number of inserted values.
+func (m *Maintainer) Total() int64 { return m.total }
+
+// Histogram returns the current sketch as a normalized distribution.
+// It returns an error before any inserts.
+func (m *Maintainer) Histogram() (*dist.PiecewiseConstant, error) {
+	if m.total == 0 {
+		return nil, fmt.Errorf("histbuild: empty maintainer")
+	}
+	pieces := make([]dist.Piece, len(m.counts))
+	for i := range m.counts {
+		pieces[i] = dist.Piece{
+			Iv:   intervals.Interval{Lo: m.bounds[i], Hi: m.bounds[i+1]},
+			Mass: float64(m.counts[i]) / float64(m.total),
+		}
+	}
+	return dist.NewPiecewiseConstant(m.n, pieces)
+}

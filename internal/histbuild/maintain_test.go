@@ -1,0 +1,145 @@
+package histbuild
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+func TestMaintainerValidation(t *testing.T) {
+	if _, err := NewMaintainer(0, 4, 2); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewMaintainer(10, 0, 2); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+	if _, err := NewMaintainer(10, 11, 2); err == nil {
+		t.Fatal("budget > n accepted")
+	}
+	m, err := NewMaintainer(10, 4, 0) // splitFrac defaulted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Histogram(); err == nil {
+		t.Fatal("empty maintainer produced a histogram")
+	}
+}
+
+func TestMaintainerPanicsOutOfRange(t *testing.T) {
+	m, _ := NewMaintainer(10, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Insert(10)
+}
+
+func TestMaintainerConservesCounts(t *testing.T) {
+	r := rng.New(1)
+	m, _ := NewMaintainer(1000, 16, 2)
+	const inserts = 50000
+	for i := 0; i < inserts; i++ {
+		m.Insert(r.Intn(1000))
+	}
+	if m.Total() != inserts {
+		t.Fatalf("total = %d", m.Total())
+	}
+	h, err := m.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist.TotalMass(h)-1) > 1e-9 {
+		t.Fatalf("mass = %v", dist.TotalMass(h))
+	}
+	if m.Buckets() > 16 {
+		t.Fatalf("buckets = %d above budget", m.Buckets())
+	}
+}
+
+func TestMaintainerTracksDistribution(t *testing.T) {
+	r := rng.New(2)
+	d := gen.Zipf(1024, 1.2)
+	s := oracle.NewSampler(d, r)
+	m, _ := NewMaintainer(1024, 32, 2)
+	for i := 0; i < 400000; i++ {
+		m.Insert(s.Draw())
+	}
+	h, err := m.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The maintained sketch should be close to the best offline 32-bucket
+	// flattening (compare against the source: bounded TV).
+	if tv := dist.TV(d, h); tv > 0.12 {
+		t.Fatalf("maintained sketch TV = %v", tv)
+	}
+}
+
+func TestMaintainerEquiDepthShape(t *testing.T) {
+	// Heavy skew: the head must end up in narrow buckets.
+	r := rng.New(3)
+	d := gen.Zipf(4096, 1.5)
+	s := oracle.NewSampler(d, r)
+	m, _ := NewMaintainer(4096, 24, 2)
+	for i := 0; i < 300000; i++ {
+		m.Insert(s.Draw())
+	}
+	h, _ := m.Histogram()
+	pieces := h.Pieces()
+	if pieces[0].Iv.Len() >= pieces[len(pieces)-1].Iv.Len() {
+		t.Fatalf("head bucket %v not narrower than tail bucket %v",
+			pieces[0].Iv, pieces[len(pieces)-1].Iv)
+	}
+	// No bucket should carry a dominant share (approximate equi-depth).
+	for _, pc := range pieces {
+		if pc.Mass > 0.4 {
+			t.Fatalf("bucket %v holds %v of the mass", pc.Iv, pc.Mass)
+		}
+	}
+}
+
+func TestMaintainerAdaptsToShift(t *testing.T) {
+	// Start with mass on the left half, then shift to the right: the
+	// sketch keeps tracking (counts are cumulative, so the check is that
+	// right-half boundaries appear at all).
+	m, _ := NewMaintainer(1000, 8, 2)
+	r := rng.New(4)
+	for i := 0; i < 20000; i++ {
+		m.Insert(r.Intn(500))
+	}
+	for i := 0; i < 40000; i++ {
+		m.Insert(500 + r.Intn(500))
+	}
+	h, _ := m.Histogram()
+	right := 0
+	for _, pc := range h.Pieces() {
+		if pc.Iv.Lo >= 500 {
+			right++
+		}
+	}
+	if right < 2 {
+		t.Fatalf("only %d buckets cover the shifted region", right)
+	}
+}
+
+func TestMaintainerSingletonBucketsStopSplitting(t *testing.T) {
+	// All inserts on one element: bucket narrows to a singleton and stays.
+	m, _ := NewMaintainer(16, 4, 2)
+	for i := 0; i < 10000; i++ {
+		m.Insert(7)
+	}
+	h, _ := m.Histogram()
+	// Midpoint splits halve counts approximately, so a small fraction can
+	// leak into neighbouring (empty) cells before the bucket narrows.
+	if h.Prob(7) < 0.99 {
+		t.Fatalf("Prob(7) = %v", h.Prob(7))
+	}
+	if m.Buckets() > 4 {
+		t.Fatalf("buckets = %d", m.Buckets())
+	}
+}

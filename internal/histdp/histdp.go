@@ -1,0 +1,379 @@
+// Package histdp implements the dynamic programs over histogram structure
+// that the tester and the evaluation harness rely on:
+//
+//   - ProjectTV: given a piecewise-constant distribution D̂ and a sub-domain
+//     G, find the k-histogram minimizing the restricted total-variation
+//     distance to D̂ on G. This is the "checking" step of Algorithm 1
+//     (Step 10), which the paper discharges to a poly(k, 1/ε) dynamic
+//     program (citing [CDGR16, Lemma 4.11]).
+//   - ProjectL2: the classic V-optimal histogram DP [JKM+98], minimizing the
+//     squared ℓ2 error; used by the histogram-construction substrate.
+//
+// For the TV program, breakpoints of the optimum may be assumed to lie on
+// the piece boundaries of D̂: within a stretch where D̂ is constant,
+// moving a candidate breakpoint to the boundary of the stretch (keeping the
+// closer of the two values) never increases the restricted ℓ1 distance
+// when the mass constraint is relaxed. The DP therefore optimizes over
+// segmentations of D̂'s pieces into at most k runs, scoring each run by the
+// weighted-median absolute deviation of D̂'s values inside G. The relaxed
+// optimum (over non-negative piecewise-constant functions) lower-bounds the
+// true distance to the class of k-histogram distributions; normalizing the
+// relaxed optimizer gives a feasible k-histogram whose distance
+// upper-bounds it. Both values are reported.
+package histdp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/intervals"
+)
+
+// MaxPieces bounds the DP size: the segment-cost table is quadratic in the
+// number of pieces (4096² float64 ≈ 134 MB).
+const MaxPieces = 4096
+
+// Projection is the result of projecting a distribution onto H_k.
+type Projection struct {
+	// Relaxed is the DP optimum: the minimal restricted TV distance to a
+	// non-negative k-piecewise-constant function. It lower-bounds Distance.
+	Relaxed float64
+	// Projected is the normalized optimizer — a genuine k-histogram
+	// distribution.
+	Projected *dist.PiecewiseConstant
+	// Distance is the restricted TV distance between the input and
+	// Projected; an upper bound on the true distance to H_k.
+	Distance float64
+	// Cuts are the chosen segment boundaries (interior, ascending).
+	Cuts []int
+}
+
+// ProjectTV projects d onto the class of k-histograms, measuring distance
+// by total variation restricted to g. See the package comment for the
+// relaxation semantics.
+func ProjectTV(d *dist.PiecewiseConstant, k int, g *intervals.Domain) (*Projection, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("histdp: k = %d must be positive", k)
+	}
+	if d.N() != g.N() {
+		return nil, fmt.Errorf("histdp: domain mismatch %d vs %d", d.N(), g.N())
+	}
+	pieces := d.Pieces()
+	B := len(pieces)
+	if B > MaxPieces {
+		return nil, fmt.Errorf("histdp: %d pieces exceeds limit %d; coarsen the input", B, MaxPieces)
+	}
+	vals := make([]float64, B)    // per-element probability of each piece
+	weights := make([]float64, B) // number of piece elements inside g
+	for j, pc := range pieces {
+		vals[j] = pc.Mass / float64(pc.Iv.Len())
+		w := 0
+		for _, giv := range g.Intervals() {
+			w += pc.Iv.Intersect(giv).Len()
+		}
+		weights[j] = float64(w)
+	}
+
+	if k >= B {
+		// d itself is feasible (it is a distribution with <= k pieces).
+		return &Projection{Relaxed: 0, Projected: d, Distance: 0, Cuts: d.Partition().Boundaries()}, nil
+	}
+
+	cost := segmentCosts(vals, weights)
+
+	// dp[j][b]: minimal ℓ1 cost splitting pieces 0..b into j segments.
+	const inf = math.MaxFloat64
+	prev := make([]float64, B)
+	cur := make([]float64, B)
+	// choice[j][b]: start piece of the last segment in the optimum.
+	choice := make([][]int32, k)
+	for j := range choice {
+		choice[j] = make([]int32, B)
+	}
+	for b := 0; b < B; b++ {
+		prev[b] = cost[0][b]
+		choice[0][b] = 0
+	}
+	segs := 1
+	for j := 1; j < k; j++ {
+		for b := 0; b < B; b++ {
+			best, bestA := prev[b], int32(choice[j-1][b])
+			if j <= b { // need at least j+1 pieces for j+1 segments? segments may cover >=1 piece each
+				for a := j; a <= b; a++ {
+					if prev[a-1] == inf {
+						continue
+					}
+					if c := prev[a-1] + cost[a][b]; c < best {
+						best, bestA = c, int32(a)
+					}
+				}
+			}
+			cur[b] = best
+			choice[j][b] = bestA
+		}
+		prev, cur = cur, prev
+		segs = j + 1
+		if prev[B-1] == 0 {
+			break // exact fit found early
+		}
+	}
+	l1 := prev[B-1]
+
+	starts := reconstruct(choice, segs, B)
+
+	// Build the relaxed optimizer: per segment, value = weighted median of
+	// vals over in-g weight; zero-weight segments take d's average value so
+	// the projection stays faithful off g.
+	segIvs := make([]intervals.Interval, 0, len(starts))
+	segVals := make([]float64, 0, len(starts))
+	cuts := make([]int, 0, len(starts)-1)
+	for si, a := range starts {
+		end := B
+		if si+1 < len(starts) {
+			end = starts[si+1]
+		}
+		iv := intervals.Interval{Lo: pieces[a].Iv.Lo, Hi: pieces[end-1].Iv.Hi}
+		v, ok := weightedMedian(vals[a:end], weights[a:end])
+		if !ok {
+			v = d.IntervalMass(iv) / float64(iv.Len())
+		}
+		segIvs = append(segIvs, iv)
+		segVals = append(segVals, v)
+		if si > 0 {
+			cuts = append(cuts, iv.Lo)
+		}
+	}
+	relaxedPieces := make([]dist.Piece, len(segIvs))
+	mass := 0.0
+	for j := range segIvs {
+		relaxedPieces[j] = dist.Piece{Iv: segIvs[j], Mass: segVals[j] * float64(segIvs[j].Len())}
+		mass += relaxedPieces[j].Mass
+	}
+	var projected *dist.PiecewiseConstant
+	if mass <= 0 {
+		projected = dist.Uniform(d.N())
+	} else {
+		for j := range relaxedPieces {
+			relaxedPieces[j].Mass /= mass
+		}
+		projected = dist.MustPiecewiseConstant(d.N(), relaxedPieces)
+	}
+	return &Projection{
+		Relaxed:   l1 / 2,
+		Projected: projected,
+		Distance:  dist.TVDomain(d, projected, g),
+		Cuts:      cuts,
+	}, nil
+}
+
+// DistanceToHk returns lower and upper bounds on the true restricted TV
+// distance from d to the class of k-histogram distributions (see the
+// package comment: the DP relaxation brackets the constrained optimum).
+func DistanceToHk(d *dist.PiecewiseConstant, k int, g *intervals.Domain) (lower, upper float64, err error) {
+	proj, err := ProjectTV(d, k, g)
+	if err != nil {
+		return 0, 0, err
+	}
+	return proj.Relaxed, proj.Distance, nil
+}
+
+// DistanceCurve returns the relaxed distance of d to H_k for every
+// k = 1..kMax in a single DP pass (curve[k-1] is the distance at k) —
+// the scree curve driving "how many bins does this column need" analyses.
+// It shares the O(B²·log B) segment-cost table across all k, so the whole
+// curve costs barely more than one projection.
+func DistanceCurve(d *dist.PiecewiseConstant, kMax int, g *intervals.Domain) ([]float64, error) {
+	if kMax < 1 {
+		return nil, fmt.Errorf("histdp: kMax = %d must be positive", kMax)
+	}
+	if d.N() != g.N() {
+		return nil, fmt.Errorf("histdp: domain mismatch %d vs %d", d.N(), g.N())
+	}
+	pieces := d.Pieces()
+	B := len(pieces)
+	if B > MaxPieces {
+		return nil, fmt.Errorf("histdp: %d pieces exceeds limit %d; coarsen the input", B, MaxPieces)
+	}
+	vals := make([]float64, B)
+	weights := make([]float64, B)
+	for j, pc := range pieces {
+		vals[j] = pc.Mass / float64(pc.Iv.Len())
+		w := 0
+		for _, giv := range g.Intervals() {
+			w += pc.Iv.Intersect(giv).Len()
+		}
+		weights[j] = float64(w)
+	}
+	curve := make([]float64, kMax)
+	if B == 0 {
+		return curve, nil
+	}
+	cost := segmentCosts(vals, weights)
+	prev := make([]float64, B)
+	cur := make([]float64, B)
+	for b := 0; b < B; b++ {
+		prev[b] = cost[0][b]
+	}
+	curve[0] = prev[B-1] / 2
+	for k := 2; k <= kMax; k++ {
+		if k > B {
+			curve[k-1] = 0
+			continue
+		}
+		j := k - 1
+		for b := 0; b < B; b++ {
+			best := prev[b]
+			for a := j; a <= b; a++ {
+				if c := prev[a-1] + cost[a][b]; c < best {
+					best = c
+				}
+			}
+			cur[b] = best
+		}
+		prev, cur = cur, prev
+		curve[k-1] = prev[B-1] / 2
+	}
+	return curve, nil
+}
+
+// segmentCosts returns cost[a][b] = min over v of Σ_{j=a..b} w_j·|vals_j−v|
+// for all 0 <= a <= b < B, in O(B² log B) time via Fenwick trees over the
+// global value ranks.
+func segmentCosts(vals, weights []float64) [][]float64 {
+	B := len(vals)
+	ranks := rankOf(vals)
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+
+	cost := make([][]float64, B)
+	fw := newFenwick(B)  // total weight per rank
+	fwv := newFenwick(B) // weight·value per rank
+	for a := 0; a < B; a++ {
+		fw.reset()
+		fwv.reset()
+		cost[a] = make([]float64, B)
+		totalW, totalWV := 0.0, 0.0
+		for b := a; b < B; b++ {
+			if weights[b] > 0 {
+				fw.add(ranks[b], weights[b])
+				fwv.add(ranks[b], weights[b]*vals[b])
+				totalW += weights[b]
+				totalWV += weights[b] * vals[b]
+			}
+			if totalW == 0 {
+				cost[a][b] = 0
+				continue
+			}
+			// Smallest rank with cumulative weight >= totalW/2.
+			r := fw.findPrefix(totalW / 2)
+			med := sorted[r]
+			wLo := fw.prefix(r)
+			wvLo := fwv.prefix(r)
+			// Σ w|v − med| = med·wLo − wvLo + (totalWV − wvLo) − med·(totalW − wLo)
+			c := med*wLo - wvLo + (totalWV - wvLo) - med*(totalW-wLo)
+			if c < 0 {
+				c = 0 // float cancellation guard
+			}
+			cost[a][b] = c
+		}
+	}
+	return cost
+}
+
+// weightedMedian returns the weighted median of vals (ok=false when all
+// weights are zero).
+func weightedMedian(vals, weights []float64) (float64, bool) {
+	type vw struct{ v, w float64 }
+	items := make([]vw, 0, len(vals))
+	total := 0.0
+	for i := range vals {
+		if weights[i] > 0 {
+			items = append(items, vw{vals[i], weights[i]})
+			total += weights[i]
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	cum := 0.0
+	for _, it := range items {
+		cum += it.w
+		if cum >= total/2 {
+			return it.v, true
+		}
+	}
+	return items[len(items)-1].v, true
+}
+
+// rankOf maps each value to its rank in the sorted order (ties broken by
+// index so that ranks are unique).
+func rankOf(vals []float64) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	ranks := make([]int, len(vals))
+	for r, i := range idx {
+		ranks[i] = r
+	}
+	return ranks
+}
+
+// fenwick is a Fenwick (binary indexed) tree over float64 sums, with a
+// findPrefix operation by binary lifting.
+type fenwick struct {
+	tree []float64
+	size int
+	logn int
+}
+
+func newFenwick(n int) *fenwick {
+	logn := 0
+	for 1<<(logn+1) <= n {
+		logn++
+	}
+	return &fenwick{tree: make([]float64, n+1), size: n, logn: logn}
+}
+
+func (f *fenwick) reset() {
+	for i := range f.tree {
+		f.tree[i] = 0
+	}
+}
+
+// add adds w at 0-based position i.
+func (f *fenwick) add(i int, w float64) {
+	for j := i + 1; j <= f.size; j += j & (-j) {
+		f.tree[j] += w
+	}
+}
+
+// prefix returns the sum over 0-based positions [0, i].
+func (f *fenwick) prefix(i int) float64 {
+	s := 0.0
+	for j := i + 1; j > 0; j -= j & (-j) {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// findPrefix returns the smallest 0-based position r such that
+// prefix(r) >= target. If the total is below target it returns size-1.
+func (f *fenwick) findPrefix(target float64) int {
+	pos := 0
+	rem := target
+	for step := 1 << f.logn; step > 0; step >>= 1 {
+		if pos+step <= f.size && f.tree[pos+step] < rem {
+			pos += step
+			rem -= f.tree[pos]
+		}
+	}
+	if pos >= f.size {
+		pos = f.size - 1
+	}
+	return pos // pos is the count of positions strictly before the answer
+}

@@ -1,0 +1,154 @@
+package histdp
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/intervals"
+)
+
+// ProjectL2 computes the V-optimal k-histogram of d: the k-piecewise-
+// constant function minimizing the squared ℓ2 error Σ_i (d(i) − h(i))²,
+// with each segment taking the mean of d's values on it (the classic
+// [JKM+98] dynamic program, O(k·B²) over d's B pieces with O(1) segment
+// costs from prefix sums). The result is normalized to a distribution;
+// sse is the squared error of the unnormalized optimum.
+func ProjectL2(d *dist.PiecewiseConstant, k int) (proj *dist.PiecewiseConstant, sse float64, err error) {
+	if k < 1 {
+		return nil, 0, fmt.Errorf("histdp: k = %d must be positive", k)
+	}
+	pieces := d.Pieces()
+	B := len(pieces)
+	if B > MaxPieces {
+		return nil, 0, fmt.Errorf("histdp: %d pieces exceeds limit %d; coarsen the input", B, MaxPieces)
+	}
+	if k >= B {
+		return d, 0, nil
+	}
+
+	// Prefix sums over elements: w (count), wv (Σ value), wv2 (Σ value²),
+	// aggregated piece by piece.
+	w := make([]float64, B+1)
+	wv := make([]float64, B+1)
+	wv2 := make([]float64, B+1)
+	vals := make([]float64, B)
+	for j, pc := range pieces {
+		ln := float64(pc.Iv.Len())
+		v := pc.Mass / ln
+		vals[j] = v
+		w[j+1] = w[j] + ln
+		wv[j+1] = wv[j] + ln*v
+		wv2[j+1] = wv2[j] + ln*v*v
+	}
+	// cost(a,b) over pieces a..b inclusive.
+	cost := func(a, b int) float64 {
+		cw := w[b+1] - w[a]
+		cv := wv[b+1] - wv[a]
+		cv2 := wv2[b+1] - wv2[a]
+		c := cv2 - cv*cv/cw
+		if c < 0 {
+			return 0 // numeric guard
+		}
+		return c
+	}
+
+	prev := make([]float64, B)
+	cur := make([]float64, B)
+	choice := make([][]int32, k)
+	for j := range choice {
+		choice[j] = make([]int32, B)
+	}
+	for b := 0; b < B; b++ {
+		prev[b] = cost(0, b)
+	}
+	segs := 1
+	for j := 1; j < k; j++ {
+		for b := 0; b < B; b++ {
+			best, bestA := prev[b], choice[j-1][b]
+			for a := j; a <= b; a++ {
+				if c := prev[a-1] + cost(a, b); c < best {
+					best, bestA = c, int32(a)
+				}
+			}
+			cur[b] = best
+			choice[j][b] = bestA
+		}
+		prev, cur = cur, prev
+		segs = j + 1
+		if prev[B-1] <= 0 {
+			break
+		}
+	}
+	sse = prev[B-1]
+
+	starts := reconstruct(choice, segs, B)
+	out := make([]dist.Piece, 0, len(starts))
+	mass := 0.0
+	for si, a := range starts {
+		end := B
+		if si+1 < len(starts) {
+			end = starts[si+1]
+		}
+		iv := intervals.Interval{Lo: pieces[a].Iv.Lo, Hi: pieces[end-1].Iv.Hi}
+		segMass := d.IntervalMass(iv) // mean value × length == interval mass
+		out = append(out, dist.Piece{Iv: iv, Mass: segMass})
+		mass += segMass
+	}
+	if mass <= 0 {
+		return dist.Uniform(d.N()), sse, nil
+	}
+	for j := range out {
+		out[j].Mass /= mass
+	}
+	return dist.MustPiecewiseConstant(d.N(), out), sse, nil
+}
+
+// reconstruct walks the choice table back to the list of segment start
+// piece indices (ascending, first element 0).
+func reconstruct(choice [][]int32, segs, B int) []int {
+	starts := make([]int, 0, segs)
+	b := B - 1
+	for j := segs - 1; j >= 0; j-- {
+		a := int(choice[j][b])
+		starts = append(starts, a)
+		b = a - 1
+		if b < 0 {
+			break
+		}
+	}
+	// starts were appended back to front.
+	for i, j := 0, len(starts)-1; i < j; i, j = i+1, j-1 {
+		starts[i], starts[j] = starts[j], starts[i]
+	}
+	if starts[0] != 0 {
+		starts = append([]int{0}, starts...)
+	}
+	return starts
+}
+
+// HistogramComplexity returns the number of pieces of the canonical
+// (compacted) representation of d — the smallest k for which d ∈ H_k.
+func HistogramComplexity(d *dist.PiecewiseConstant) int {
+	return d.Compact().PieceCount()
+}
+
+// IsKHistogram reports whether d is a k-histogram (within the compaction
+// tolerance).
+func IsKHistogram(d *dist.PiecewiseConstant, k int) bool {
+	return HistogramComplexity(d) <= k
+}
+
+// TrueDistanceDense computes, exactly, the relaxed distance from an
+// arbitrary Dense distribution to non-negative k-piecewise-constant
+// functions. The dense vector is first compacted to its minimal
+// piecewise-constant representation; the DP requires that representation
+// to have at most MaxPieces pieces (always true for n <= MaxPieces, and
+// true for much larger n when the vector is blocky or sparse). Used as a
+// ground-truth oracle in tests and experiments.
+func TrueDistanceDense(d *dist.Dense, k int, g *intervals.Domain) (lower, upper float64, err error) {
+	pc := d.ToPiecewiseConstant()
+	if pc.PieceCount() > MaxPieces {
+		return 0, 0, fmt.Errorf("histdp: dense input compacts to %d pieces, limit %d", pc.PieceCount(), MaxPieces)
+	}
+	return DistanceToHk(pc, k, g)
+}

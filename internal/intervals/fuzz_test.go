@@ -1,0 +1,70 @@
+package intervals
+
+import "testing"
+
+// FuzzFromBoundaries checks the partition invariants against arbitrary
+// cut-point inputs: full coverage, contiguity, Find consistency, and
+// boundary round-tripping.
+func FuzzFromBoundaries(f *testing.F) {
+	f.Add(10, 3, 7, 3)
+	f.Add(1, 0, 0, 0)
+	f.Add(100, -5, 200, 50)
+	f.Add(2, 1, 1, 1)
+	f.Fuzz(func(t *testing.T, n, a, b, c int) {
+		if n < 1 || n > 1<<16 {
+			t.Skip()
+		}
+		p := FromBoundaries(n, []int{a, b, c})
+		if p.N() != n {
+			t.Fatalf("domain %d != %d", p.N(), n)
+		}
+		prev := 0
+		for j := 0; j < p.Count(); j++ {
+			iv := p.Interval(j)
+			if iv.Lo != prev || iv.Empty() {
+				t.Fatalf("interval %d = %v breaks contiguity at %d", j, iv, prev)
+			}
+			prev = iv.Hi
+		}
+		if prev != n {
+			t.Fatalf("coverage ends at %d, want %d", prev, n)
+		}
+		for _, probe := range []int{0, n / 2, n - 1} {
+			if !p.Interval(p.Find(probe)).Contains(probe) {
+				t.Fatalf("Find(%d) inconsistent", probe)
+			}
+		}
+		q := FromBoundaries(n, p.Boundaries())
+		if q.Count() != p.Count() {
+			t.Fatalf("boundary round trip changed count: %d -> %d", p.Count(), q.Count())
+		}
+	})
+}
+
+// FuzzDomainAlgebra checks De Morgan-ish invariants of Domain operations
+// on arbitrary interval soup.
+func FuzzDomainAlgebra(f *testing.F) {
+	f.Add(20, 2, 5, 4, 9)
+	f.Add(5, -3, 10, 0, 0)
+	f.Add(64, 63, 64, 1, 2)
+	f.Fuzz(func(t *testing.T, n, aLo, aHi, bLo, bHi int) {
+		if n < 1 || n > 1<<14 {
+			t.Skip()
+		}
+		a := NewDomain(n, []Interval{{Lo: aLo, Hi: aHi}})
+		b := NewDomain(n, []Interval{{Lo: bLo, Hi: bHi}})
+		inter := a.Intersect(b)
+		minus := a.Minus(b)
+		if inter.Size()+minus.Size() != a.Size() {
+			t.Fatalf("|A∩B| + |A\\B| = %d + %d != |A| = %d", inter.Size(), minus.Size(), a.Size())
+		}
+		if a.Complement().Size()+a.Size() != n {
+			t.Fatal("complement size broken")
+		}
+		for _, probe := range []int{0, n / 3, n - 1} {
+			if inter.Contains(probe) != (a.Contains(probe) && b.Contains(probe)) {
+				t.Fatalf("intersect membership wrong at %d", probe)
+			}
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package intervals
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{2, 5}
+	if iv.Len() != 3 {
+		t.Fatalf("Len = %d", iv.Len())
+	}
+	if iv.Empty() {
+		t.Fatal("non-empty interval reported empty")
+	}
+	for i := 2; i < 5; i++ {
+		if !iv.Contains(i) {
+			t.Fatalf("should contain %d", i)
+		}
+	}
+	if iv.Contains(1) || iv.Contains(5) {
+		t.Fatal("contains out-of-range element")
+	}
+	if (Interval{3, 3}).Empty() != true {
+		t.Fatal("empty interval not empty")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	cases := []struct{ a, b, want Interval }{
+		{Interval{0, 5}, Interval{3, 8}, Interval{3, 5}},
+		{Interval{0, 5}, Interval{5, 8}, Interval{5, 5}},
+		{Interval{0, 2}, Interval{4, 8}, Interval{4, 4}},
+		{Interval{0, 10}, Interval{2, 4}, Interval{2, 4}},
+	}
+	for _, c := range cases {
+		got := c.a.Intersect(c.b)
+		if got.Empty() != c.want.Empty() || (!got.Empty() && got != c.want) {
+			t.Fatalf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNewPartitionValidation(t *testing.T) {
+	if _, err := NewPartition(10, []Interval{{0, 5}, {5, 10}}); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	bad := [][]Interval{
+		{{0, 5}, {6, 10}},         // gap
+		{{0, 5}, {4, 10}},         // overlap
+		{{1, 10}},                 // does not start at 0
+		{{0, 5}, {5, 9}},          // does not end at n
+		{{0, 5}, {5, 5}, {5, 10}}, // empty interval
+		{},                        // empty list
+	}
+	for i, ivs := range bad {
+		if _, err := NewPartition(10, ivs); err == nil {
+			t.Fatalf("bad partition %d accepted: %v", i, ivs)
+		}
+	}
+	if _, err := NewPartition(0, []Interval{{0, 0}}); err == nil {
+		t.Fatal("zero-size domain accepted")
+	}
+}
+
+func TestFromBoundaries(t *testing.T) {
+	p := FromBoundaries(10, []int{3, 7, 3, 0, 10, -1, 12})
+	if p.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", p.Count())
+	}
+	want := []Interval{{0, 3}, {3, 7}, {7, 10}}
+	for j, iv := range p.Intervals() {
+		if iv != want[j] {
+			t.Fatalf("interval %d = %v, want %v", j, iv, want[j])
+		}
+	}
+	whole := FromBoundaries(5, nil)
+	if whole.Count() != 1 || whole.Interval(0) != (Interval{0, 5}) {
+		t.Fatalf("FromBoundaries with no cuts: %v", whole)
+	}
+}
+
+func TestSingletonsAndWhole(t *testing.T) {
+	s := Singletons(4)
+	if s.Count() != 4 {
+		t.Fatalf("Singletons count = %d", s.Count())
+	}
+	for i := 0; i < 4; i++ {
+		if s.Find(i) != i {
+			t.Fatalf("Find(%d) = %d", i, s.Find(i))
+		}
+	}
+	w := Whole(4)
+	if w.Count() != 1 {
+		t.Fatal("Whole should have one interval")
+	}
+}
+
+func TestEquiWidth(t *testing.T) {
+	p := EquiWidth(10, 3)
+	total := 0
+	for _, iv := range p.Intervals() {
+		total += iv.Len()
+		if iv.Len() < 3 || iv.Len() > 4 {
+			t.Fatalf("uneven interval %v", iv)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	if EquiWidth(7, 7).Count() != 7 {
+		t.Fatal("EquiWidth(n,n) should be singletons")
+	}
+}
+
+func TestFindProperty(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(200)
+		cuts := make([]int, r.Intn(10))
+		for i := range cuts {
+			cuts[i] = 1 + r.Intn(n)
+		}
+		p := FromBoundaries(n, cuts)
+		for i := 0; i < n; i++ {
+			j := p.Find(i)
+			if !p.Interval(j).Contains(i) {
+				t.Fatalf("Find(%d) = %d, interval %v", i, j, p.Interval(j))
+			}
+		}
+	}
+}
+
+func TestFindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Find out of range did not panic")
+		}
+	}()
+	Whole(5).Find(5)
+}
+
+func TestRefine(t *testing.T) {
+	p := FromBoundaries(12, []int{4, 8})
+	q := FromBoundaries(12, []int{6})
+	ref, err := p.Refine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Interval{{0, 4}, {4, 6}, {6, 8}, {8, 12}}
+	got := ref.Intervals()
+	if len(got) != len(want) {
+		t.Fatalf("refine gave %v", got)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("refine interval %d = %v, want %v", j, got[j], want[j])
+		}
+	}
+	if _, err := p.Refine(FromBoundaries(10, nil)); err == nil {
+		t.Fatal("mismatched-domain refine accepted")
+	}
+}
+
+func TestBoundariesRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(100)
+		cuts := make([]int, r.Intn(8))
+		for i := range cuts {
+			cuts[i] = 1 + r.Intn(n-1)
+		}
+		p := FromBoundaries(n, cuts)
+		q := FromBoundaries(n, p.Boundaries())
+		if p.Count() != q.Count() {
+			return false
+		}
+		for j := 0; j < p.Count(); j++ {
+			if p.Interval(j) != q.Interval(j) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainNormalization(t *testing.T) {
+	d := NewDomain(20, []Interval{{5, 8}, {0, 3}, {7, 10}, {15, 15}, {12, 13}, {-2, 1}, {18, 25}})
+	want := []Interval{{0, 3}, {5, 10}, {12, 13}, {18, 20}}
+	got := d.Intervals()
+	if len(got) != len(want) {
+		t.Fatalf("domain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("piece %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if d.Size() != 3+5+1+2 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+}
+
+func TestDomainAdjacentMerge(t *testing.T) {
+	d := NewDomain(10, []Interval{{0, 3}, {3, 6}})
+	if len(d.Intervals()) != 1 {
+		t.Fatalf("adjacent intervals not merged: %v", d.Intervals())
+	}
+}
+
+func TestDomainContains(t *testing.T) {
+	d := NewDomain(20, []Interval{{2, 5}, {10, 12}})
+	for i := 0; i < 20; i++ {
+		want := (i >= 2 && i < 5) || (i >= 10 && i < 12)
+		if d.Contains(i) != want {
+			t.Fatalf("Contains(%d) = %v, want %v", i, d.Contains(i), want)
+		}
+	}
+}
+
+func TestDomainComplement(t *testing.T) {
+	d := NewDomain(10, []Interval{{2, 4}, {7, 9}})
+	c := d.Complement()
+	for i := 0; i < 10; i++ {
+		if d.Contains(i) == c.Contains(i) {
+			t.Fatalf("element %d in both or neither", i)
+		}
+	}
+	if got := FullDomain(5).Complement().Size(); got != 0 {
+		t.Fatalf("complement of full has size %d", got)
+	}
+	if got := EmptyDomain(5).Complement().Size(); got != 5 {
+		t.Fatalf("complement of empty has size %d", got)
+	}
+}
+
+func TestDomainIntersectMinus(t *testing.T) {
+	a := NewDomain(20, []Interval{{0, 10}})
+	b := NewDomain(20, []Interval{{5, 15}})
+	inter := a.Intersect(b)
+	if inter.Size() != 5 || !inter.Contains(5) || inter.Contains(10) {
+		t.Fatalf("intersect wrong: %v", inter.Intervals())
+	}
+	minus := a.Minus(b)
+	if minus.Size() != 5 || !minus.Contains(0) || minus.Contains(5) {
+		t.Fatalf("minus wrong: %v", minus.Intervals())
+	}
+}
+
+func TestDomainSetLaws(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(50)
+		mk := func() *Domain {
+			ivs := make([]Interval, r.Intn(5))
+			for i := range ivs {
+				lo := r.Intn(n)
+				ivs[i] = Interval{lo, lo + 1 + r.Intn(n-lo)}
+			}
+			return NewDomain(n, ivs)
+		}
+		a, b := mk(), mk()
+		inter := a.Intersect(b)
+		minus := a.Minus(b)
+		for i := 0; i < n; i++ {
+			if inter.Contains(i) != (a.Contains(i) && b.Contains(i)) {
+				return false
+			}
+			if minus.Contains(i) != (a.Contains(i) && !b.Contains(i)) {
+				return false
+			}
+			if a.Complement().Contains(i) == a.Contains(i) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromPartitionSubset(t *testing.T) {
+	p := FromBoundaries(12, []int{3, 6, 9})
+	d := FromPartitionSubset(p, []bool{true, false, true, true})
+	// Intervals 2 and 3 are adjacent so they merge.
+	want := []Interval{{0, 3}, {6, 12}}
+	got := d.Intervals()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("subset domain = %v, want %v", got, want)
+	}
+}
+
+func TestIsFull(t *testing.T) {
+	if !FullDomain(9).IsFull() {
+		t.Fatal("full not full")
+	}
+	if NewDomain(9, []Interval{{0, 8}}).IsFull() {
+		t.Fatal("partial reported full")
+	}
+	if !NewDomain(9, []Interval{{0, 5}, {5, 9}}).IsFull() {
+		t.Fatal("merged-full not recognized")
+	}
+}

@@ -1,0 +1,185 @@
+// Package learn implements the learning-stage subroutines of Algorithm 1:
+//
+//   - ApproxPart (Proposition 3.4, from the full version of [ADK15]): from
+//     O(b log b) samples, partition the domain so that heavy elements
+//     (mass >= 1/b) are singletons and every other interval has small mass.
+//   - LaplaceEstimate / Learn (Lemma 3.5, following the Laplace/add-one
+//     estimator analysis of [KOPS15]): from O(ℓ/ε²) samples over an
+//     ℓ-interval partition, output a flattened histogram D̂ that is
+//     ε²-close in χ² distance to the flattening of D — except possibly on
+//     D's breakpoint intervals, which the sieve later removes.
+package learn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/intervals"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// PartResult is the output of ApproxPart.
+type PartResult struct {
+	// Partition divides [0, n) into K intervals.
+	Partition *intervals.Partition
+	// Heavy[j] reports whether interval j was emitted as a heavy singleton
+	// (empirical mass >= the singleton threshold).
+	Heavy []bool
+	// SamplesUsed is the number of samples drawn.
+	SamplesUsed int
+}
+
+// ApproxPartSamples returns the sample budget C·b·log2(b+2) used by
+// ApproxPart.
+func ApproxPartSamples(b, c float64) int {
+	return int(math.Ceil(c * b * math.Log2(b+2)))
+}
+
+// ApproxPart draws O(b log b) samples and returns a partition of the
+// domain such that, with high probability:
+//
+//	(i)  every element with true mass >= 1/b is a singleton interval;
+//	(ii) every non-singleton interval has true mass <= 2/b;
+//	(iii) the number of intervals K is O(b).
+//
+// The greedy differs from the paper's statement only in the constant of
+// (iii): K <= 7b/3 + #heavy + 2 rather than 2b+2, because trailing light
+// chunks before each heavy singleton are kept separate instead of merged
+// (merging would break the 2/b bound of (ii)). Downstream only O(b)
+// matters. c scales the sample budget (the paper's O(·); default 20 in
+// core.Config).
+func ApproxPart(o oracle.Oracle, r *rng.RNG, b, c float64) (*PartResult, error) {
+	n := o.N()
+	if b < 1 {
+		return nil, fmt.Errorf("learn: ApproxPart needs b >= 1, got %v", b)
+	}
+	m := ApproxPartSamples(b, c)
+	counts := oracle.NewCounts(n, oracle.DrawN(o, m))
+
+	// Thresholds on empirical mass: an element is heavy at 3/(4b); an
+	// accumulating chunk closes at 3/(4b).
+	heavyThr := 3.0 / (4 * b) * float64(m)
+	chunkThr := 3.0 / (4 * b) * float64(m)
+
+	var ivs []intervals.Interval
+	var heavy []bool
+	start := 0
+	acc := 0.0
+	closeChunk := func(end int) {
+		if end > start {
+			ivs = append(ivs, intervals.Interval{Lo: start, Hi: end})
+			heavy = append(heavy, false)
+		}
+		start = end
+		acc = 0
+	}
+	// Only sampled elements can be heavy or contribute mass; walk the
+	// sampled elements in order and close chunks lazily so the cost is
+	// O(m + K), not O(n).
+	counts.ForEach(func(i, ni int) {
+		ci := float64(ni)
+		if ci >= heavyThr {
+			closeChunk(i)
+			ivs = append(ivs, intervals.Interval{Lo: i, Hi: i + 1})
+			heavy = append(heavy, true)
+			start = i + 1
+			return
+		}
+		acc += ci
+		if acc >= chunkThr {
+			closeChunk(i + 1)
+		}
+	})
+	closeChunk(n)
+	if len(ivs) == 0 {
+		// No samples at all (possible only for tiny m): single interval.
+		ivs = append(ivs, intervals.Interval{Lo: 0, Hi: n})
+		heavy = append(heavy, false)
+	}
+	p, err := intervals.NewPartition(n, ivs)
+	if err != nil {
+		return nil, fmt.Errorf("learn: internal partition error: %w", err)
+	}
+	return &PartResult{Partition: p, Heavy: heavy, SamplesUsed: m}, nil
+}
+
+// LaplaceEstimate computes the add-one estimator of Lemma 3.5 from counts
+// tallied over the partition p: interval I_i receives mass
+// (m_{I_i} + 1) / (m + ℓ), spread uniformly. The masses sum to one by
+// construction.
+func LaplaceEstimate(counts *oracle.Counts, p *intervals.Partition) *dist.PiecewiseConstant {
+	ell := p.Count()
+	m := counts.Total()
+	masses := make([]float64, ell)
+	for j := range masses {
+		masses[j] = 1.0 / float64(m+ell)
+	}
+	counts.ForEach(func(i, ni int) {
+		masses[p.Find(i)] += float64(ni) / float64(m+ell)
+	})
+	d, err := dist.FromWeights(p, masses)
+	if err != nil {
+		panic(err) // masses are positive and complete by construction
+	}
+	return d
+}
+
+// LearnSamples returns the sample budget ⌈c·ℓ/ε²⌉ used by Learn.
+func LearnSamples(ell int, eps, c float64) int {
+	return int(math.Ceil(c * float64(ell) / (eps * eps)))
+}
+
+// Learn draws O(ℓ/ε²) samples and returns the Laplace estimate over p.
+// Guarantee (Lemma 3.5): if D ∈ H_k, then with probability >= 9/10 the
+// output D̂ satisfies dχ²(D̃^J ‖ D̂) <= ε², where D̃^J is D flattened on
+// every non-breakpoint interval of p. c scales the sample budget.
+func Learn(o oracle.Oracle, r *rng.RNG, p *intervals.Partition, eps, c float64) (*dist.PiecewiseConstant, int) {
+	m := LearnSamples(p.Count(), eps, c)
+	counts := oracle.NewCounts(o.N(), oracle.DrawN(o, m))
+	return LaplaceEstimate(counts, p), m
+}
+
+// EmpiricalFlattening returns the plain empirical flattening over p:
+// interval I receives mass m_I/m. Used by the agnostic-TV baselines.
+// It panics if counts is empty.
+func EmpiricalFlattening(counts *oracle.Counts, p *intervals.Partition) *dist.PiecewiseConstant {
+	m := counts.Total()
+	if m == 0 {
+		panic("learn: empirical flattening of zero samples")
+	}
+	masses := make([]float64, p.Count())
+	counts.ForEach(func(i, ni int) {
+		masses[p.Find(i)] += float64(ni) / float64(m)
+	})
+	d, err := dist.FromWeights(p, masses)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BreakpointIntervals returns the indices of the intervals of p that
+// contain a breakpoint of the piecewise-constant distribution d (an i with
+// d(i) != d(i+1) strictly inside the interval). A k-histogram has at most
+// k-1 breakpoints, hence at most k-1 breakpoint intervals (the paper's set
+// J in Lemma 3.5). Used by tests and experiments that need the ground
+// truth.
+func BreakpointIntervals(d *dist.PiecewiseConstant, p *intervals.Partition) []int {
+	if d.N() != p.N() {
+		panic("learn: mismatched domains")
+	}
+	var out []int
+	for _, cut := range d.Compact().Partition().Boundaries() {
+		// The breakpoint is between elements cut-1 and cut; it is interior
+		// to interval j iff j contains both.
+		j := p.Find(cut)
+		if p.Interval(j).Contains(cut - 1) {
+			if len(out) == 0 || out[len(out)-1] != j {
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+// Package lowerbound constructs the hard instances behind Theorem 1.2 and
+// the reduction machinery of Section 4, so the information-theoretic
+// claims can be probed empirically:
+//
+//   - the Paninski family Q_ε of Proposition 4.1: pairwise ±cε/n
+//     perturbations of uniform, each ε-far from H_k for k < n/3 yet
+//     requiring Ω(√n/ε²) samples to tell from uniform;
+//   - the support-size promise instances of [VV10] and the random-
+//     permutation embedding (Proposition 4.2) that turns any k-histogram
+//     tester into a support-size estimator;
+//   - the cover statistic of Lemma 4.4 (number of maximal runs a support
+//     set splits into under a random permutation).
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// Paninski draws a uniformly random member of the family Q_ε over [0, n):
+// for each pair (2i, 2i+1), one side gets (1+c·ε)/n and the other
+// (1−c·ε)/n according to an unbiased coin. n must be even; c is the
+// paper's constant (c = 6 makes every member ε-far from H_k for k < n/3,
+// by the Proposition 4.1 argument — it also requires c·ε <= 1).
+func Paninski(r *rng.RNG, n int, eps, c float64) (*dist.Dense, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: Paninski needs even n, got %d", n)
+	}
+	if c*eps > 1 {
+		return nil, fmt.Errorf("lowerbound: c·ε = %v > 1 makes masses negative", c*eps)
+	}
+	p := make([]float64, n)
+	hi := (1 + c*eps) / float64(n)
+	lo := (1 - c*eps) / float64(n)
+	for i := 0; i < n; i += 2 {
+		if r.Bernoulli(0.5) {
+			p[i], p[i+1] = hi, lo
+		} else {
+			p[i], p[i+1] = lo, hi
+		}
+	}
+	return dist.MustDense(p), nil
+}
+
+// PaninskiDistanceLB returns the Proposition 4.1 lower bound c·ε/6 on the
+// TV distance of any Q_ε member to H_k, valid for k < n/3.
+func PaninskiDistanceLB(eps, c float64) float64 { return c * eps / 6 }
+
+// SupportInstance builds a [VV10]-style support-size promise instance over
+// [0, m): the uniform distribution over a support of the given size (every
+// supported element has mass 1/size >= 1/m). The small side of the promise
+// uses size = m/3, the large side size = 7m/8.
+func SupportInstance(m, size int) (*dist.Dense, error) {
+	if size < 1 || size > m {
+		return nil, fmt.Errorf("lowerbound: support size %d out of [1, %d]", size, m)
+	}
+	p := make([]float64, m)
+	for i := 0; i < size; i++ {
+		p[i] = 1 / float64(size)
+	}
+	return dist.MustDense(p), nil
+}
+
+// SmallSupport and LargeSupport return the two promise sides' sizes.
+func SmallSupport(m int) int { return m / 3 }
+
+// LargeSupport returns the large side of the support-size promise.
+func LargeSupport(m int) int { return 7 * m / 8 }
+
+// Cover returns cover(S): the minimal number of disjoint intervals needed
+// to cover the set S ⊆ [0, n) (the number of maximal runs of consecutive
+// elements). S need not be sorted.
+func Cover(s []int) int {
+	if len(s) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), s...)
+	sort.Ints(sorted)
+	runs := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1]+1 {
+			runs++
+		}
+	}
+	return runs
+}
+
+// PermutedSupportCover draws a uniform permutation σ of [0, n) and returns
+// cover(σ(S)) for S = {0, ..., ell−1} — the quantity Lemma 4.4 bounds:
+// Pr[cover <= 6ℓ/7] <= 7ℓ/n.
+func PermutedSupportCover(r *rng.RNG, n, ell int) int {
+	sigma := r.Perm(n)
+	img := make([]int, ell)
+	for i := 0; i < ell; i++ {
+		img[i] = sigma[i]
+	}
+	return Cover(img)
+}
+
+// Reduction is the Section 4.2 embedding: given sample access to a
+// distribution over [0, m) satisfying the support-size promise, embed the
+// domain into [0, n), apply a fresh uniform permutation, and hand the
+// permuted oracle to a k-histogram tester with k = 2·(m/3)+1 and ε₁ = 1/24.
+// A correct tester then accepts on the small-support side (the permuted
+// distribution is a k-histogram with probability one) and rejects on the
+// large-support side (with high probability over σ, the support is
+// sprinkled into >= 3m/4 isolated chunks, forcing ε₁-farness from H_k).
+type Reduction struct {
+	// N is the enlarged domain size (the paper needs m <= n/70, i.e.
+	// m = ⌈3(k−1)/2⌉ with k <= n/120).
+	N int
+	// M is the original domain size.
+	M int
+}
+
+// NewReduction validates the m <= n/70 requirement of Lemma 4.4.
+func NewReduction(n, m int) (*Reduction, error) {
+	if m < 1 || n < 1 {
+		return nil, fmt.Errorf("lowerbound: bad sizes n=%d m=%d", n, m)
+	}
+	if m > n/70 {
+		return nil, fmt.Errorf("lowerbound: reduction needs m <= n/70 (m=%d, n=%d)", m, n)
+	}
+	return &Reduction{N: n, M: m}, nil
+}
+
+// K returns the histogram parameter k = 2·(m/3)+1 the tester is invoked
+// with.
+func (rd *Reduction) K() int { return 2*SmallSupport(rd.M) + 1 }
+
+// Eps returns the distance parameter ε₁ = 1/24 of Proposition 4.2.
+func (rd *Reduction) Eps() float64 { return 1.0 / 24 }
+
+// Embed wraps an oracle over [0, m) as a freshly permuted oracle over
+// [0, n). Each call draws a new permutation (the reduction repeats with
+// fresh σ and fresh samples, taking a majority).
+func (rd *Reduction) Embed(inner oracle.Oracle, r *rng.RNG) (oracle.Oracle, error) {
+	if inner.N() != rd.M {
+		return nil, fmt.Errorf("lowerbound: inner oracle over %d, want %d", inner.N(), rd.M)
+	}
+	sigma := r.Perm(rd.N)
+	return oracle.NewPermuted(&enlarged{inner: inner, n: rd.N}, sigma)
+}
+
+// enlarged views an oracle over [0, m) as one over [0, n) (elements
+// m..n−1 simply never occur — their mass is zero).
+type enlarged struct {
+	inner oracle.Oracle
+	n     int
+}
+
+func (e *enlarged) N() int         { return e.n }
+func (e *enlarged) Draw() int      { return e.inner.Draw() }
+func (e *enlarged) Samples() int64 { return e.inner.Samples() }
+
+// PermutedDistribution materializes the distribution the tester actually
+// sees: d over [0, m) embedded in [0, n) and pushed through sigma. For
+// ground-truth verification in experiments.
+func PermutedDistribution(d *dist.Dense, n int, sigma []int) (*dist.Dense, error) {
+	if len(sigma) != n {
+		return nil, fmt.Errorf("lowerbound: permutation of size %d, want %d", len(sigma), n)
+	}
+	if d.N() > n {
+		return nil, fmt.Errorf("lowerbound: cannot embed %d into %d", d.N(), n)
+	}
+	p := make([]float64, n)
+	for i := 0; i < d.N(); i++ {
+		p[sigma[i]] = d.Prob(i)
+	}
+	return dist.MustDense(p), nil
+}
+
+// PadWithHeavy applies the ε-rescaling trick closing Section 4.2: extend
+// the domain by one element carrying mass 1−ε/ε₁·... Specifically, given a
+// hard instance at distance scale ε₁ and a target ε <= ε₁, the instance is
+// scaled by w = ε/ε₁ and an extra heavy element absorbs 1−w. Testing the
+// padded instance at distance ε is as hard as testing the original at ε₁.
+func PadWithHeavy(d *dist.Dense, eps, eps1 float64) (*dist.Dense, error) {
+	if eps <= 0 || eps > eps1 {
+		return nil, fmt.Errorf("lowerbound: need 0 < ε <= ε₁, got %v vs %v", eps, eps1)
+	}
+	w := eps / eps1
+	p := make([]float64, d.N()+1)
+	for i := 0; i < d.N(); i++ {
+		p[i] = w * d.Prob(i)
+	}
+	p[d.N()] = 1 - w
+	return dist.MustDense(p), nil
+}

@@ -1,0 +1,359 @@
+// Package oracle provides sample access to unknown distributions — the
+// access model of distribution testing (Section 2 of the paper) — plus the
+// bookkeeping the experiments need: exact accounting of how many samples a
+// tester consumed, Poissonized batch draws, per-element count vectors, and
+// fingerprints.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/intervals"
+	"repro/internal/rng"
+)
+
+// Oracle yields independent samples from an unknown distribution over
+// {0, ..., n-1} and counts how many have been drawn. Implementations are
+// not safe for concurrent use.
+type Oracle interface {
+	// N returns the domain size.
+	N() int
+	// Draw returns one sample.
+	Draw() int
+	// Samples returns the total number of samples drawn so far.
+	Samples() int64
+}
+
+// DrawN draws m samples from o.
+func DrawN(o Oracle, m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = o.Draw()
+	}
+	return out
+}
+
+// DrawPoisson draws Poisson(mean) samples from o — the Poissonization
+// trick of Section 2. The returned slice length is the Poisson variate.
+func DrawPoisson(o Oracle, r *rng.RNG, mean float64) []int {
+	return DrawN(o, r.Poisson(mean))
+}
+
+// Sampler samples from a known dist.Distribution using Walker–Vose alias
+// tables built over the distribution's constant runs: a k-histogram costs
+// O(k) setup and O(1) per draw regardless of n.
+type Sampler struct {
+	n     int
+	r     *rng.RNG
+	lo    []int // run bounds
+	hi    []int
+	alias []int
+	prob  []float64
+	count int64
+}
+
+var _ Oracle = (*Sampler)(nil)
+
+// NewSampler builds a sampler for d using randomness from r. It panics if
+// d has non-positive total mass. The distribution is normalized implicitly:
+// sampling probabilities are proportional to d's masses.
+func NewSampler(d dist.Distribution, r *rng.RNG) *Sampler {
+	n := d.N()
+	var lo, hi []int
+	var mass []float64
+	total := 0.0
+	for i := 0; i < n; {
+		end := d.RunEnd(i)
+		if end > n {
+			end = n
+		}
+		m := d.Prob(i) * float64(end-i)
+		lo = append(lo, i)
+		hi = append(hi, end)
+		mass = append(mass, m)
+		total += m
+		i = end
+	}
+	if total <= 0 {
+		panic("oracle: sampler over zero-mass distribution")
+	}
+	s := &Sampler{n: n, r: r, lo: lo, hi: hi}
+	s.alias, s.prob = buildAlias(mass, total)
+	return s
+}
+
+// buildAlias constructs Walker–Vose alias tables for the normalized weights
+// mass/total.
+func buildAlias(mass []float64, total float64) (alias []int, prob []float64) {
+	k := len(mass)
+	alias = make([]int, k)
+	prob = make([]float64, k)
+	scaled := make([]float64, k)
+	small := make([]int, 0, k)
+	large := make([]int, 0, k)
+	for i, m := range mass {
+		scaled[i] = m / total * float64(k)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	for _, i := range large {
+		prob[i] = 1
+		alias[i] = i
+	}
+	for _, i := range small {
+		prob[i] = 1
+		alias[i] = i
+	}
+	return alias, prob
+}
+
+// N returns the domain size.
+func (s *Sampler) N() int { return s.n }
+
+// Draw returns one sample.
+func (s *Sampler) Draw() int {
+	s.count++
+	j := s.r.Intn(len(s.prob))
+	if s.r.Float64() >= s.prob[j] {
+		j = s.alias[j]
+	}
+	if s.hi[j]-s.lo[j] == 1 {
+		return s.lo[j]
+	}
+	return s.lo[j] + s.r.Intn(s.hi[j]-s.lo[j])
+}
+
+// Samples returns how many samples have been drawn.
+func (s *Sampler) Samples() int64 { return s.count }
+
+// ResetCount zeroes the sample counter (e.g. between experiment trials).
+func (s *Sampler) ResetCount() { s.count = 0 }
+
+// Permuted wraps an oracle, relabelling samples through a fixed
+// permutation sigma of the domain — the embedding step of the paper's
+// support-size reduction (Section 4.2): the tester sees samples from
+// D ∘ σ⁻¹.
+type Permuted struct {
+	inner Oracle
+	sigma []int
+}
+
+var _ Oracle = (*Permuted)(nil)
+
+// NewPermuted returns an oracle emitting sigma(x) for each sample x of
+// inner. len(sigma) must equal inner.N().
+func NewPermuted(inner Oracle, sigma []int) (*Permuted, error) {
+	if len(sigma) != inner.N() {
+		return nil, fmt.Errorf("oracle: permutation of size %d over domain %d", len(sigma), inner.N())
+	}
+	return &Permuted{inner: inner, sigma: sigma}, nil
+}
+
+// N returns the domain size.
+func (p *Permuted) N() int { return p.inner.N() }
+
+// Draw returns sigma(inner.Draw()).
+func (p *Permuted) Draw() int { return p.sigma[p.inner.Draw()] }
+
+// Samples returns the inner oracle's count.
+func (p *Permuted) Samples() int64 { return p.inner.Samples() }
+
+// Conditional restricts an oracle to a sub-domain by rejection sampling:
+// Draw retries until the inner sample lands in the domain — the
+// "conditional sampling" view used when testers reason about D restricted
+// to an interval (e.g. the per-interval flatness tests of [ILR12]).
+// Samples() counts INNER draws, so budget accounting reflects the true
+// cost including rejections.
+type Conditional struct {
+	inner    Oracle
+	domain   *intervals.Domain
+	maxRetry int
+}
+
+var _ Oracle = (*Conditional)(nil)
+
+// NewConditional wraps inner restricted to domain. maxRetry bounds the
+// rejection loop (0 means 1e6); Draw panics if it is exhausted, which
+// only happens when the domain carries (near-)zero mass.
+func NewConditional(inner Oracle, domain *intervals.Domain, maxRetry int) (*Conditional, error) {
+	if domain.N() != inner.N() {
+		return nil, fmt.Errorf("oracle: domain universe %d != oracle domain %d", domain.N(), inner.N())
+	}
+	if domain.Size() == 0 {
+		return nil, fmt.Errorf("oracle: conditioning on an empty domain")
+	}
+	if maxRetry <= 0 {
+		maxRetry = 1_000_000
+	}
+	return &Conditional{inner: inner, domain: domain, maxRetry: maxRetry}, nil
+}
+
+// N returns the domain size of the underlying universe.
+func (c *Conditional) N() int { return c.inner.N() }
+
+// Draw returns the next inner sample that lands in the domain.
+func (c *Conditional) Draw() int {
+	for i := 0; i < c.maxRetry; i++ {
+		if v := c.inner.Draw(); c.domain.Contains(v) {
+			return v
+		}
+	}
+	panic("oracle: conditional rejection budget exhausted (domain mass ~0)")
+}
+
+// Samples returns the inner oracle's draw count (including rejections).
+func (c *Conditional) Samples() int64 { return c.inner.Samples() }
+
+// Replay replays a recorded sequence of samples (e.g. a dataset read from
+// disk by the CLI). Draw panics when the recording is exhausted; callers
+// should check Remaining first.
+type Replay struct {
+	n     int
+	data  []int
+	next  int
+	count int64
+}
+
+var _ Oracle = (*Replay)(nil)
+
+// NewReplay validates that every sample lies in [0, n) and returns a
+// replay oracle.
+func NewReplay(n int, data []int) (*Replay, error) {
+	for i, v := range data {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("oracle: sample %d = %d outside [0,%d)", i, v, n)
+		}
+	}
+	return &Replay{n: n, data: data}, nil
+}
+
+// N returns the domain size.
+func (rp *Replay) N() int { return rp.n }
+
+// Draw returns the next recorded sample.
+func (rp *Replay) Draw() int {
+	if rp.next >= len(rp.data) {
+		panic("oracle: replay exhausted")
+	}
+	v := rp.data[rp.next]
+	rp.next++
+	rp.count++
+	return v
+}
+
+// Samples returns how many samples have been replayed.
+func (rp *Replay) Samples() int64 { return rp.count }
+
+// Remaining returns how many recorded samples are left.
+func (rp *Replay) Remaining() int { return len(rp.data) - rp.next }
+
+// Counts is a sparse per-element occurrence vector over [0, n).
+type Counts struct {
+	n     int
+	m     map[int]int
+	total int
+}
+
+// NewCounts tallies the occurrence of each element in samples.
+func NewCounts(n int, samples []int) *Counts {
+	c := &Counts{n: n, m: make(map[int]int, len(samples))}
+	for _, s := range samples {
+		if s < 0 || s >= n {
+			panic(fmt.Sprintf("oracle: sample %d outside [0,%d)", s, n))
+		}
+		c.m[s]++
+		c.total++
+	}
+	return c
+}
+
+// N returns the domain size.
+func (c *Counts) N() int { return c.n }
+
+// Total returns the number of samples tallied.
+func (c *Counts) Total() int { return c.total }
+
+// Of returns the occurrence count of element i.
+func (c *Counts) Of(i int) int { return c.m[i] }
+
+// Distinct returns the number of distinct elements observed.
+func (c *Counts) Distinct() int { return len(c.m) }
+
+// ForEach calls f for every observed element (ascending order) with its
+// count.
+func (c *Counts) ForEach(f func(elem, count int)) {
+	keys := make([]int, 0, len(c.m))
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		f(k, c.m[k])
+	}
+}
+
+// InRange returns the number of samples that fell in [lo, hi).
+func (c *Counts) InRange(lo, hi int) int {
+	// Iterate the map: cheaper than sorting when called rarely; callers
+	// needing many range queries should use Empirical instead.
+	total := 0
+	for k, v := range c.m {
+		if k >= lo && k < hi {
+			total += v
+		}
+	}
+	return total
+}
+
+// Empirical returns the empirical distribution of the counts as a Dense
+// distribution (mass count/total per element). It panics if no samples
+// were tallied.
+func (c *Counts) Empirical() *dist.Dense {
+	if c.total == 0 {
+		panic("oracle: empirical distribution of zero samples")
+	}
+	p := make([]float64, c.n)
+	for k, v := range c.m {
+		p[k] = float64(v) / float64(c.total)
+	}
+	return dist.MustDense(p)
+}
+
+// Fingerprint returns the collision fingerprint of the counts: fp[j] is
+// the number of distinct elements that appeared exactly j times (j >= 1).
+// Symmetric-property testers (uniqueness/collision statistics) consume
+// exactly this.
+func (c *Counts) Fingerprint() map[int]int {
+	fp := make(map[int]int)
+	for _, v := range c.m {
+		fp[v]++
+	}
+	return fp
+}
+
+// PairCollisions returns the number of unordered sample pairs that
+// collided: Σ_i C(count_i, 2).
+func (c *Counts) PairCollisions() int64 {
+	var total int64
+	for _, v := range c.m {
+		total += int64(v) * int64(v-1) / 2
+	}
+	return total
+}

@@ -1,0 +1,76 @@
+package shape
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/intervals"
+	"repro/internal/rng"
+)
+
+func benchPC(b *testing.B, pieces int) *dist.PiecewiseConstant {
+	b.Helper()
+	r := rng.New(1)
+	n := pieces * 8
+	cuts := make([]int, pieces-1)
+	for i := range cuts {
+		cuts[i] = (i + 1) * 8
+	}
+	part := intervals.FromBoundaries(n, cuts)
+	masses := make([]float64, part.Count())
+	total := 0.0
+	for j := range masses {
+		masses[j] = r.Float64() + 0.01
+		total += masses[j]
+	}
+	for j := range masses {
+		masses[j] /= total
+	}
+	d, err := dist.FromWeights(part, masses)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkMonotonePAV(b *testing.B) {
+	d := benchPC(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Monotone(d, false)
+	}
+}
+
+func BenchmarkUnimodalProjection(b *testing.B) {
+	d := benchPC(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Unimodal(d)
+	}
+}
+
+func BenchmarkKModalProjection(b *testing.B) {
+	d := benchPC(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := KModal(d, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBirgeDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BirgeDecomposition(1<<20, 0.02)
+	}
+}
+
+func BenchmarkFlatteningGamma(b *testing.B) {
+	d := gen.Zipf(1<<14, 1.2)
+	p := BirgeDecomposition(1<<14, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FlatteningGamma(d, p)
+	}
+}

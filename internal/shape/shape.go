@@ -1,0 +1,404 @@
+// Package shape provides ℓ1 projections onto shape-restricted classes —
+// monotone, unimodal, and k-modal probability mass functions — over
+// piecewise-constant inputs.
+//
+// These are the shape classes surrounding the paper: [ADK15], whose
+// testing machinery the paper adapts, treats monotonicity and
+// unimodality; the paper's Theorem 1.2 remark extends its lower bound to
+// k-modal distributions; and the agnostic learners the paper invokes
+// ([ADLS15]) are built from exactly these projections. The algorithms:
+//
+//   - isotonic ℓ1 regression by the pool-adjacent-violators (PAV) method
+//     with weighted-median blocks, O(B log B) amortized over B pieces and
+//     online in the input — appending a piece only merges blocks, so one
+//     left-to-right sweep yields the optimal cost of EVERY prefix;
+//   - unimodal projection as best peak over prefix-increasing +
+//     suffix-decreasing costs, one PAV sweep each way;
+//   - k-modal projection by dynamic programming over at most 2k−1
+//     maximal monotone runs, with per-run costs from per-start online PAV
+//     sweeps (O(B² log B) total).
+//
+// Distances are total-variation style: half the weighted ℓ1 difference,
+// where weights are piece lengths (so they agree with dist.TV against the
+// projected distribution).
+package shape
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// item is one piece of the input: a value with a positive weight.
+type item struct {
+	v, w float64
+}
+
+// block is a PAV block: a set of items fitted by one constant, the
+// weighted median. Items are kept sorted by value for mergeable medians.
+type block struct {
+	items  []item  // sorted by v
+	weight float64 // Σ w
+	med    float64 // current weighted (lower) median
+	cost   float64 // Σ w·|v − med|
+}
+
+func newBlock(v, w float64) *block {
+	return &block{items: []item{{v, w}}, weight: w, med: v}
+}
+
+// merge absorbs other into b (other's items are consumed).
+func (b *block) merge(other *block) {
+	merged := make([]item, 0, len(b.items)+len(other.items))
+	i, j := 0, 0
+	for i < len(b.items) && j < len(other.items) {
+		if b.items[i].v <= other.items[j].v {
+			merged = append(merged, b.items[i])
+			i++
+		} else {
+			merged = append(merged, other.items[j])
+			j++
+		}
+	}
+	merged = append(merged, b.items[i:]...)
+	merged = append(merged, other.items[j:]...)
+	b.items = merged
+	b.weight += other.weight
+	b.recompute()
+}
+
+// recompute refreshes the weighted median and the block cost.
+func (b *block) recompute() {
+	half := b.weight / 2
+	cum := 0.0
+	med := b.items[len(b.items)-1].v
+	for _, it := range b.items {
+		cum += it.w
+		if cum >= half {
+			med = it.v
+			break
+		}
+	}
+	cost := 0.0
+	for _, it := range b.items {
+		cost += it.w * math.Abs(it.v-med)
+	}
+	b.med = med
+	b.cost = cost
+}
+
+// pav maintains the PAV stack for an isotonic (non-decreasing) fit and
+// reports the optimal total cost after each appended item. For a
+// non-increasing fit, feed the values negated (or reversed).
+type pav struct {
+	stack []*block
+	total float64
+}
+
+// push appends an item and restores the monotone-median invariant.
+func (p *pav) push(v, w float64) {
+	nb := newBlock(v, w)
+	for len(p.stack) > 0 && p.stack[len(p.stack)-1].med >= nb.med {
+		top := p.stack[len(p.stack)-1]
+		p.stack = p.stack[:len(p.stack)-1]
+		p.total -= top.cost
+		nb.merge(top)
+	}
+	p.stack = append(p.stack, nb)
+	p.total += nb.cost
+}
+
+// fit returns the fitted value for each original position, given the
+// order items were pushed.
+func (p *pav) fit(n int) []float64 {
+	out := make([]float64, 0, n)
+	for _, b := range p.stack {
+		for range b.items {
+			out = append(out, b.med)
+		}
+	}
+	return out
+}
+
+// pieces extracts (value, weight) pairs from a piecewise-constant
+// distribution: value = per-element probability, weight = piece length.
+func pieces(d *dist.PiecewiseConstant) (vals, weights []float64) {
+	for _, pc := range d.Pieces() {
+		vals = append(vals, pc.Mass/float64(pc.Iv.Len()))
+		weights = append(weights, float64(pc.Iv.Len()))
+	}
+	return
+}
+
+// prefixCosts returns, for each b, the optimal isotonic ℓ1 cost of fitting
+// vals[0..b] with a non-decreasing (dir=+1) or non-increasing (dir=−1)
+// function. One online PAV sweep.
+func prefixCosts(vals, weights []float64, dir int) []float64 {
+	p := &pav{}
+	out := make([]float64, len(vals))
+	for i := range vals {
+		v := vals[i]
+		if dir < 0 {
+			v = -v
+		}
+		p.push(v, weights[i])
+		out[i] = p.total
+	}
+	return out
+}
+
+// Monotone reports the minimal TV distance from d to the class of
+// monotone non-increasing (decreasing=true) or non-decreasing pmfs with
+// breakpoints on d's piece structure, together with the projected
+// distribution (normalized).
+func Monotone(d *dist.PiecewiseConstant, decreasing bool) (float64, *dist.PiecewiseConstant) {
+	vals, weights := pieces(d)
+	p := &pav{}
+	for i := range vals {
+		v := vals[i]
+		if decreasing {
+			v = -v
+		}
+		p.push(v, weights[i])
+	}
+	fit := p.fit(len(vals))
+	if decreasing {
+		for i := range fit {
+			fit[i] = -fit[i]
+		}
+	}
+	return p.total / 2, rebuild(d, fit)
+}
+
+// Unimodal reports the minimal TV distance from d to the class of
+// single-peak pmfs (non-decreasing up to some peak piece, non-increasing
+// after), with the projected distribution and the chosen peak piece index.
+// Note the paper's "1-modal" class also admits the mirror-image valley
+// shape; see Valley and KModal.
+func Unimodal(d *dist.PiecewiseConstant) (float64, *dist.PiecewiseConstant, int) {
+	return vShape(d, false)
+}
+
+// Valley reports the minimal TV distance from d to the class of
+// single-valley pmfs (non-increasing down to some trough piece,
+// non-decreasing after), with the projection and the trough piece index.
+func Valley(d *dist.PiecewiseConstant) (float64, *dist.PiecewiseConstant, int) {
+	return vShape(d, true)
+}
+
+// vShape computes the best "one direction change" fit: rising-then-falling
+// (valley=false, a peak) or falling-then-rising (valley=true).
+func vShape(d *dist.PiecewiseConstant, valley bool) (float64, *dist.PiecewiseConstant, int) {
+	vals, weights := pieces(d)
+	B := len(vals)
+	firstDir, secondDir := +1, -1
+	if valley {
+		firstDir, secondDir = -1, +1
+	}
+	// first[b]: cost of fitting vals[0..b] monotone in the first direction.
+	first := prefixCosts(vals, weights, firstDir)
+	// second[a]: cost of fitting vals[a..B-1] monotone in the second
+	// direction — a first-direction fit of the reversal.
+	// Reversal flips the apparent direction: a secondDir-monotone fit of
+	// the suffix [a..B-1] is a (−secondDir)-monotone fit of the reversal.
+	rvals := make([]float64, B)
+	rweights := make([]float64, B)
+	for i := range vals {
+		rvals[B-1-i] = vals[i]
+		rweights[B-1-i] = weights[i]
+	}
+	secondRev := prefixCosts(rvals, rweights, -secondDir)
+	second := make([]float64, B)
+	for a := 0; a < B; a++ {
+		second[a] = secondRev[B-1-a]
+	}
+
+	best := math.Inf(1)
+	turn := 0
+	for p := 0; p < B; p++ {
+		c := second[p]
+		if p > 0 {
+			c += first[p-1]
+		}
+		if c < best {
+			best = c
+			turn = p
+		}
+	}
+	// Rebuild the actual fit for the best turning point.
+	firstSign := 1.0
+	if firstDir < 0 {
+		firstSign = -1
+	}
+	up := &pav{}
+	for i := 0; i < turn; i++ {
+		up.push(firstSign*vals[i], weights[i])
+	}
+	// The reversed suffix is fitted in direction −secondDir = firstDir, so
+	// the push sign matches the prefix's.
+	down := &pav{}
+	for i := B - 1; i >= turn; i-- {
+		down.push(firstSign*vals[i], weights[i])
+	}
+	fitRaw := up.fit(turn)
+	fit := make([]float64, 0, B)
+	for _, v := range fitRaw {
+		fit = append(fit, firstSign*v)
+	}
+	downFit := down.fit(B - turn)
+	for i := len(downFit) - 1; i >= 0; i-- {
+		fit = append(fit, firstSign*downFit[i])
+	}
+	return best / 2, rebuild(d, fit), turn
+}
+
+// KModal reports the minimal TV distance from d to the class of k-modal
+// pmfs in the paper's counting (Section 1.2): the pmf may go "up and
+// down" or "down and up" at most k times, i.e. it has at most k+1 maximal
+// monotone runs. Unimodal (single peak) corresponds to k = 1. It also
+// returns the projected distribution. Cost: O(B²·log B + B²·k).
+func KModal(d *dist.PiecewiseConstant, k int) (float64, *dist.PiecewiseConstant, error) {
+	if k < 1 {
+		return 0, nil, fmt.Errorf("shape: k = %d must be positive", k)
+	}
+	vals, weights := pieces(d)
+	B := len(vals)
+	maxRuns := k + 1
+	if maxRuns > B {
+		maxRuns = B
+	}
+
+	// cost[dir][a][b]: isotonic cost of fitting vals[a..b] monotonically.
+	// dir 0 = non-decreasing, 1 = non-increasing. Built by per-start
+	// online PAV sweeps.
+	cost := [2][][]float64{}
+	for dir := 0; dir < 2; dir++ {
+		sign := 1.0
+		if dir == 1 {
+			sign = -1
+		}
+		table := make([][]float64, B)
+		for a := 0; a < B; a++ {
+			p := &pav{}
+			row := make([]float64, B)
+			for b := a; b < B; b++ {
+				p.push(sign*vals[b], weights[b])
+				row[b] = p.total
+			}
+			table[a] = row
+		}
+		cost[dir] = table
+	}
+
+	// dp[r][b][dir]: minimal cost of fitting vals[0..b] with r+1 monotone
+	// runs, the last of which has direction dir. Runs must alternate.
+	const inf = math.MaxFloat64
+	dp := make([][][2]float64, maxRuns)
+	choice := make([][][2]int32, maxRuns)
+	for r := range dp {
+		dp[r] = make([][2]float64, B)
+		choice[r] = make([][2]int32, B)
+		for b := range dp[r] {
+			dp[r][b][0], dp[r][b][1] = inf, inf
+		}
+	}
+	for b := 0; b < B; b++ {
+		dp[0][b][0] = cost[0][0][b]
+		dp[0][b][1] = cost[1][0][b]
+	}
+	for r := 1; r < maxRuns; r++ {
+		for b := r; b < B; b++ {
+			for dir := 0; dir < 2; dir++ {
+				prevDir := 1 - dir
+				best, bestA := dp[r-1][b][dir], int32(-1) // carry over fewer runs
+				if bc := choice[r-1][b][dir]; best < inf {
+					bestA = bc
+				}
+				for a := r; a <= b; a++ {
+					prev := dp[r-1][a-1][prevDir]
+					if prev == inf {
+						continue
+					}
+					if c := prev + cost[dir][a][b]; c < best {
+						best, bestA = c, int32(a)
+					}
+				}
+				dp[r][b][dir] = best
+				choice[r][b][dir] = bestA
+			}
+		}
+	}
+	bestCost := math.Min(dp[maxRuns-1][B-1][0], dp[maxRuns-1][B-1][1])
+
+	// Reconstruct the run boundaries, then refit each run.
+	dir := 0
+	if dp[maxRuns-1][B-1][1] < dp[maxRuns-1][B-1][0] {
+		dir = 1
+	}
+	type run struct {
+		a, b, dir int
+	}
+	var runs []run
+	b := B - 1
+	r := maxRuns - 1
+	for b >= 0 && r >= 0 {
+		a := int(choice[r][b][dir])
+		if r == 0 || a < 0 {
+			// Either the first run, or a carry-over marker: walk down to
+			// the row that actually starts a run here.
+			if r > 0 && a < 0 {
+				r--
+				continue
+			}
+			runs = append(runs, run{0, b, dir})
+			break
+		}
+		runs = append(runs, run{a, b, dir})
+		b = a - 1
+		r--
+		dir = 1 - dir
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].a < runs[j].a })
+
+	fit := make([]float64, 0, B)
+	for _, rn := range runs {
+		p := &pav{}
+		sign := 1.0
+		if rn.dir == 1 {
+			sign = -1
+		}
+		for i := rn.a; i <= rn.b; i++ {
+			p.push(sign*vals[i], weights[i])
+		}
+		seg := p.fit(rn.b - rn.a + 1)
+		for i := range seg {
+			fit = append(fit, sign*seg[i])
+		}
+	}
+	return bestCost / 2, rebuild(d, fit), nil
+}
+
+// rebuild assembles a distribution from per-piece fitted values (clamped
+// at zero, normalized; uniform fallback when everything fits to zero).
+func rebuild(d *dist.PiecewiseConstant, fit []float64) *dist.PiecewiseConstant {
+	in := d.Pieces()
+	out := make([]dist.Piece, len(in))
+	mass := 0.0
+	for j := range in {
+		v := fit[j]
+		if v < 0 {
+			v = 0
+		}
+		out[j] = dist.Piece{Iv: in[j].Iv, Mass: v * float64(in[j].Iv.Len())}
+		mass += out[j].Mass
+	}
+	if mass <= 0 {
+		return dist.Uniform(d.N())
+	}
+	for j := range out {
+		out[j].Mass /= mass
+	}
+	return dist.MustPiecewiseConstant(d.N(), out).Compact()
+}

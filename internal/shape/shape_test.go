@@ -1,0 +1,357 @@
+package shape
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/intervals"
+	"repro/internal/rng"
+)
+
+func pcFromVals(t *testing.T, vals []float64) *dist.PiecewiseConstant {
+	t.Helper()
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	pieces := make([]dist.Piece, len(vals))
+	for i, v := range vals {
+		pieces[i] = dist.Piece{Iv: intervals.Interval{Lo: i, Hi: i + 1}, Mass: v / total}
+	}
+	return dist.MustPiecewiseConstant(len(vals), pieces)
+}
+
+// bruteMonotone computes the optimal isotonic ℓ1 cost by brute force over
+// a small value grid (sufficient because an optimal fit uses input values).
+func bruteMonotone(vals, weights []float64, decreasing bool) float64 {
+	n := len(vals)
+	candidates := append([]float64(nil), vals...)
+	// DP over positions × candidate levels.
+	sortFloats(candidates)
+	m := len(candidates)
+	const inf = math.MaxFloat64
+	prev := make([]float64, m)
+	for j := 0; j < m; j++ {
+		prev[j] = weights[0] * math.Abs(vals[0]-candidates[j])
+	}
+	for i := 1; i < n; i++ {
+		cur := make([]float64, m)
+		if !decreasing {
+			best := inf
+			for j := 0; j < m; j++ {
+				if prev[j] < best {
+					best = prev[j]
+				}
+				cur[j] = best + weights[i]*math.Abs(vals[i]-candidates[j])
+			}
+		} else {
+			best := inf
+			for j := m - 1; j >= 0; j-- {
+				if prev[j] < best {
+					best = prev[j]
+				}
+				cur[j] = best + weights[i]*math.Abs(vals[i]-candidates[j])
+			}
+		}
+		prev = cur
+	}
+	best := inf
+	for _, c := range prev {
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestMonotoneExactOnMonotoneInput(t *testing.T) {
+	d := pcFromVals(t, []float64{1, 2, 3, 4, 5})
+	cost, proj := Monotone(d, false)
+	if cost > 1e-12 {
+		t.Fatalf("increasing input has increasing cost %v", cost)
+	}
+	if dist.TV(d, proj) > 1e-9 {
+		t.Fatal("projection moved a feasible input")
+	}
+	costDec, _ := Monotone(d, true)
+	if costDec <= 0.1 {
+		t.Fatalf("decreasing fit of increasing input should cost a lot, got %v", costDec)
+	}
+}
+
+func TestMonotoneMatchesBruteForce(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + r.Intn(9)
+		vals := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Round(r.Float64()*8) / 8
+			weights[i] = float64(1 + r.Intn(4))
+		}
+		for _, dec := range []bool{false, true} {
+			p := &pav{}
+			for i := range vals {
+				v := vals[i]
+				if dec {
+					v = -v
+				}
+				p.push(v, weights[i])
+			}
+			want := bruteMonotone(vals, weights, dec)
+			if math.Abs(p.total-want) > 1e-9 {
+				t.Fatalf("trial %d dec=%v: PAV cost %v, brute force %v (vals %v, w %v)",
+					trial, dec, p.total, want, vals, weights)
+			}
+		}
+	}
+}
+
+func TestMonotoneFitIsMonotone(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(20)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64() + 0.01
+		}
+		d := pcFromVals(t, vals)
+		_, proj := Monotone(d, false)
+		prev := -1.0
+		for i := 0; i < proj.N(); i++ {
+			if proj.Prob(i) < prev-1e-12 {
+				t.Fatalf("projection not non-decreasing at %d", i)
+			}
+			prev = proj.Prob(i)
+		}
+	}
+}
+
+func TestUnimodalExactOnBump(t *testing.T) {
+	d := pcFromVals(t, []float64{1, 3, 7, 4, 2})
+	cost, proj, peak := Unimodal(d)
+	if cost > 1e-12 {
+		t.Fatalf("unimodal input has cost %v", cost)
+	}
+	if peak != 2 {
+		t.Fatalf("peak = %d, want 2", peak)
+	}
+	if dist.Modality(proj) > 2 {
+		t.Fatalf("projection modality = %d", dist.Modality(proj))
+	}
+}
+
+func TestUnimodalOnComb(t *testing.T) {
+	// The alternating comb is far from unimodal: best unimodal fit costs
+	// a constant fraction.
+	d := gen.Comb(32)
+	cost, proj, _ := Unimodal(d)
+	if cost < 0.2 {
+		t.Fatalf("comb unimodal distance = %v, want substantial", cost)
+	}
+	if dist.Modality(proj) > 2 {
+		t.Fatalf("projection modality = %d", dist.Modality(proj))
+	}
+}
+
+func TestKModal1IsBestOfPeakAndValley(t *testing.T) {
+	// The paper's 1-modal class allows ONE direction change either way, so
+	// its optimum is the better of the peak and valley fits.
+	r := rng.New(3)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + r.Intn(20)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64() + 0.01
+		}
+		d := pcFromVals(t, vals)
+		uCost, _, _ := Unimodal(d)
+		vCost, _, _ := Valley(d)
+		want := math.Min(uCost, vCost)
+		kCost, _, err := KModal(d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(want-kCost) > 1e-9 {
+			t.Fatalf("trial %d: min(peak %v, valley %v) != 1-modal %v", trial, uCost, vCost, kCost)
+		}
+	}
+}
+
+func TestValleyExactOnValleyInput(t *testing.T) {
+	d := pcFromVals(t, []float64{5, 2, 1, 3, 6})
+	cost, proj, trough := Valley(d)
+	if cost > 1e-12 {
+		t.Fatalf("valley input has cost %v", cost)
+	}
+	if trough != 2 {
+		t.Fatalf("trough = %d, want 2", trough)
+	}
+	if dist.Modality(proj) > 2 {
+		t.Fatalf("projection modality = %d", dist.Modality(proj))
+	}
+	// A peak fit of a valley must cost something.
+	pCost, _, _ := Unimodal(d)
+	if pCost < 0.05 {
+		t.Fatalf("peak fit of a valley suspiciously cheap: %v", pCost)
+	}
+}
+
+func TestKModalMonotoneInCost(t *testing.T) {
+	// More modes allowed → cost can only decrease; enough modes → zero.
+	r := rng.New(4)
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + r.Intn(15)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64() + 0.01
+		}
+		d := pcFromVals(t, vals)
+		prev := math.Inf(1)
+		for k := 1; k <= n; k++ {
+			cost, proj, err := KModal(d, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost > prev+1e-9 {
+				t.Fatalf("trial %d: cost increased at k=%d: %v > %v", trial, k, cost, prev)
+			}
+			if dist.Modality(proj) > k+1 {
+				t.Fatalf("trial %d k=%d: projection has %d runs", trial, k, dist.Modality(proj))
+			}
+			prev = cost
+		}
+		if prev > 1e-9 {
+			t.Fatalf("trial %d: k=n cost = %v, want 0", trial, prev)
+		}
+	}
+}
+
+func TestKModalRecoversGeneratedKModal(t *testing.T) {
+	r := rng.New(5)
+	for _, k := range []int{1, 2, 4} {
+		d := gen.KModal(r, 512, k)
+		pc := d.ToPiecewiseConstant()
+		// k peaks = up/down k times interleaved: 2k monotone runs at most,
+		// i.e. (2k−1)-modal in the paper's counting.
+		cost, _, err := KModal(pc, 2*k-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost > 1e-9 {
+			t.Fatalf("k=%d: generated k-modal measures %v from its class", k, cost)
+		}
+		if k > 1 {
+			// With only 1 direction change allowed it must be far.
+			cost1, _, err := KModal(pc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost1 < 0.01 {
+				t.Fatalf("k=%d: unimodal fit suspiciously good: %v", k, cost1)
+			}
+		}
+	}
+}
+
+func TestKModalErrors(t *testing.T) {
+	d := pcFromVals(t, []float64{1, 2})
+	if _, _, err := KModal(d, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestProjectionsAreDistributions(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + r.Intn(30)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()
+		}
+		vals[r.Intn(n)] = 0 // include zero pieces
+		d := pcFromVals(t, addEps(vals))
+		for _, proj := range projections(t, d) {
+			if math.Abs(dist.TotalMass(proj)-1) > 1e-9 {
+				t.Fatalf("projection mass = %v", dist.TotalMass(proj))
+			}
+		}
+	}
+}
+
+func addEps(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v + 1e-6
+	}
+	return out
+}
+
+func projections(t *testing.T, d *dist.PiecewiseConstant) []*dist.PiecewiseConstant {
+	t.Helper()
+	_, inc := Monotone(d, false)
+	_, dec := Monotone(d, true)
+	_, uni, _ := Unimodal(d)
+	_, km, err := KModal(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*dist.PiecewiseConstant{inc, dec, uni, km}
+}
+
+func TestProjectionIdempotence(t *testing.T) {
+	// Projecting a projection costs zero: the output is in the class.
+	r := rng.New(8)
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + r.Intn(20)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64() + 0.01
+		}
+		d := pcFromVals(t, vals)
+		_, mono := Monotone(d, trial%2 == 0)
+		if c, _ := Monotone(mono, trial%2 == 0); c > 1e-9 {
+			t.Fatalf("monotone projection not idempotent: %v", c)
+		}
+		_, uni, _ := Unimodal(d)
+		if c, _, _ := Unimodal(uni); c > 1e-9 {
+			t.Fatalf("unimodal projection not idempotent: %v", c)
+		}
+		k := 1 + r.Intn(3)
+		_, km, err := KModal(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c, _, err := KModal(km, k); err != nil || c > 1e-9 {
+			t.Fatalf("k-modal projection not idempotent: %v (%v)", c, err)
+		}
+	}
+}
+
+func TestCostsAreTVAgainstProjection(t *testing.T) {
+	// The reported cost is the ℓ1/2 of the UNCONSTRAINED-mass optimum; the
+	// normalized projection's TV distance can only be (slightly) larger.
+	r := rng.New(7)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(20)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64() + 0.01
+		}
+		d := pcFromVals(t, vals)
+		cost, proj, _ := Unimodal(d)
+		if tv := dist.TV(d, proj); cost > tv+1e-9 {
+			t.Fatalf("cost %v exceeds TV to projection %v", cost, tv)
+		}
+	}
+}

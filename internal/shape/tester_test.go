@@ -1,0 +1,181 @@
+package shape
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+func TestBirgeDecomposition(t *testing.T) {
+	p := BirgeDecomposition(1000, 0.1)
+	// Lengths grow geometrically; the interval count is O(log(n)/γ).
+	if p.Count() > 200 {
+		t.Fatalf("too many intervals: %d", p.Count())
+	}
+	prevLen := 0
+	for j := 0; j+1 < p.Count(); j++ { // last interval may be truncated at n
+		l := p.Interval(j).Len()
+		if l+1 < prevLen { // allow rounding wiggle
+			t.Fatalf("interval %d length %d shrank from %d", j, l, prevLen)
+		}
+		prevLen = l
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("gamma out of range did not panic")
+			}
+		}()
+		BirgeDecomposition(10, 0)
+	}()
+}
+
+func TestBirgeFlatteningErrorOnMonotone(t *testing.T) {
+	// For monotone non-increasing distributions the χ² distance to the
+	// Birgé flattening is O(γ²).
+	gamma := 0.05
+	p := BirgeDecomposition(2048, gamma)
+	for _, d := range []dist.Distribution{
+		gen.Zipf(2048, 1.0),
+		gen.Zipf(2048, 1.8),
+	} {
+		if got := FlatteningGamma(d, p); got > 4*gamma*gamma {
+			t.Fatalf("flattening χ² = %v, want O(γ²) = %v", got, gamma*gamma)
+		}
+	}
+}
+
+func TestMirror(t *testing.T) {
+	p := BirgeDecomposition(100, 0.3)
+	m := mirror(p)
+	if m.Count() != p.Count() {
+		t.Fatalf("mirror changed count: %d vs %d", m.Count(), p.Count())
+	}
+	// First interval of p (length 1) becomes the last of m.
+	if m.Interval(m.Count()-1).Len() != p.Interval(0).Len() {
+		t.Fatal("mirror did not reflect lengths")
+	}
+}
+
+func TestMonotoneTesterCompleteness(t *testing.T) {
+	r := rng.New(1)
+	params := PracticalMonotone()
+	accepts := 0
+	const trials = 12
+	d := gen.Zipf(1024, 1.2) // monotone non-increasing
+	for i := 0; i < trials; i++ {
+		s := oracle.NewSampler(d, r.Split())
+		res, err := TestMonotone(s, r, true, 0.4, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accept {
+			accepts++
+		}
+		if res.Samples <= 0 {
+			t.Fatal("sample accounting missing")
+		}
+	}
+	if accepts < trials*3/4 {
+		t.Fatalf("monotone completeness: %d/%d", accepts, trials)
+	}
+}
+
+func TestMonotoneTesterIncreasingDirection(t *testing.T) {
+	// A non-decreasing staircase must pass with decreasing=false and fail
+	// with decreasing=true.
+	r := rng.New(2)
+	n := 1024
+	p := make([]float64, n)
+	total := 0.0
+	for i := range p {
+		p[i] = 1 + 3*float64(i)/float64(n)
+		total += p[i]
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	d := dist.MustDense(p)
+	params := PracticalMonotone()
+
+	acceptInc, acceptDec := 0, 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		s := oracle.NewSampler(d, r.Split())
+		res, err := TestMonotone(s, r, false, 0.3, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accept {
+			acceptInc++
+		}
+		s2 := oracle.NewSampler(d, r.Split())
+		res2, err := TestMonotone(s2, r, true, 0.3, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Accept {
+			acceptDec++
+		}
+	}
+	if acceptInc < trials*3/4 {
+		t.Fatalf("increasing direction rejected its own shape: %d/%d", acceptInc, trials)
+	}
+	if acceptDec > trials/4 {
+		t.Fatalf("decreasing direction accepted an increasing shape: %d/%d", acceptDec, trials)
+	}
+}
+
+func TestMonotoneTesterSoundness(t *testing.T) {
+	r := rng.New(3)
+	params := PracticalMonotone()
+	d := gen.Comb(1024) // ~0.5-far from monotone
+	rejects := 0
+	const trials = 12
+	for i := 0; i < trials; i++ {
+		s := oracle.NewSampler(d, r.Split())
+		res, err := TestMonotone(s, r, true, 0.4, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accept {
+			rejects++
+			if res.Stage == "" {
+				t.Fatal("rejection without stage")
+			}
+		}
+	}
+	if rejects < trials*3/4 {
+		t.Fatalf("monotone soundness: %d/%d", rejects, trials)
+	}
+}
+
+func TestMonotoneTesterValidation(t *testing.T) {
+	r := rng.New(4)
+	s := oracle.NewSampler(dist.Uniform(16), r)
+	if _, err := TestMonotone(s, r, true, 0, PracticalMonotone()); err == nil {
+		t.Fatal("eps = 0 accepted")
+	}
+	if _, err := TestMonotone(s, r, true, 1.5, PracticalMonotone()); err == nil {
+		t.Fatal("eps > 1 accepted")
+	}
+}
+
+func TestMonotoneTesterUniformBothWays(t *testing.T) {
+	// The uniform distribution is monotone in both directions.
+	r := rng.New(5)
+	params := PracticalMonotone()
+	for _, dec := range []bool{true, false} {
+		s := oracle.NewSampler(dist.Uniform(512), r.Split())
+		res, err := TestMonotone(s, r, dec, 0.5, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accept {
+			t.Fatalf("uniform rejected (decreasing=%v): stage %s, check %v", dec, res.Stage, res.CheckDistance)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func BenchmarkReservoirOffer(b *testing.B) {
+	r := rng.New(1)
+	rv, err := NewReservoir(1024, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rv.Offer(i & 0xffff)
+	}
+}
+
+func BenchmarkWindowOffer(b *testing.B) {
+	w, err := NewWindow(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Offer(i & 0xffff)
+	}
+}
+
+func BenchmarkWindowSnapshot(b *testing.B) {
+	w, _ := NewWindow(1 << 14)
+	for i := 0; i < 1<<15; i++ {
+		w.Offer(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Snapshot()
+	}
+}

@@ -1,0 +1,111 @@
+package tolerant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+func TestEstimateTVZeroOnMatch(t *testing.T) {
+	r := rng.New(1)
+	d := dist.Uniform(512)
+	sum := 0.0
+	const reps = 20
+	for i := 0; i < reps; i++ {
+		s := oracle.NewSampler(d, r.Split())
+		est, err := EstimateTVKnown(s, d, 0.1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	if avg := sum / reps; avg > 0.05 {
+		t.Fatalf("self-distance estimate = %v, want ~0", avg)
+	}
+}
+
+func TestEstimateTVTracksTruth(t *testing.T) {
+	r := rng.New(2)
+	n := 512
+	dstar := dist.Uniform(n)
+	for _, target := range []float64{0.1, 0.25, 0.4} {
+		d, achieved := gen.BlockComb(dstar, 64, target)
+		sum := 0.0
+		const reps = 15
+		for i := 0; i < reps; i++ {
+			s := oracle.NewSampler(d, r.Split())
+			est, err := EstimateTVKnown(s, dstar, 0.08, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += est
+		}
+		avg := sum / reps
+		if math.Abs(avg-achieved) > 0.08 {
+			t.Fatalf("target %v: estimate %v vs truth %v", target, avg, achieved)
+		}
+	}
+}
+
+func TestEstimateTVValidation(t *testing.T) {
+	r := rng.New(3)
+	s := oracle.NewSampler(dist.Uniform(8), r)
+	if _, err := EstimateTVKnown(s, dist.Uniform(9), 0.1, 2); err == nil {
+		t.Fatal("mismatched domains accepted")
+	}
+	if _, err := EstimateTVKnown(s, dist.Uniform(8), 0, 2); err == nil {
+		t.Fatal("eta = 0 accepted")
+	}
+}
+
+func TestToleranceTester(t *testing.T) {
+	r := rng.New(4)
+	n := 512
+	dstar := dist.Uniform(n)
+	closeD, _ := gen.BlockComb(dstar, 64, 0.05)
+	farD, _ := gen.BlockComb(dstar, 64, 0.45)
+
+	closeOK, farOK := 0, 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		s1 := oracle.NewSampler(closeD, r.Split())
+		dec, err := ToleranceTester(s1, dstar, 0.1, 0.35, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Close {
+			closeOK++
+		}
+		if dec.Samples <= 0 {
+			t.Fatal("sample accounting missing")
+		}
+		s2 := oracle.NewSampler(farD, r.Split())
+		dec, err = ToleranceTester(s2, dstar, 0.1, 0.35, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Close {
+			farOK++
+		}
+	}
+	if closeOK < 8 || farOK < 8 {
+		t.Fatalf("tolerant verdicts: close %d/10, far %d/10", closeOK, farOK)
+	}
+	if _, err := ToleranceTester(oracle.NewSampler(dstar, r), dstar, 0.5, 0.3, 2); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+}
+
+func TestTolerantCostDwarfsTesting(t *testing.T) {
+	// The point of the package: tolerant verification pays ~n while the
+	// paper's tester pays ~√n. At n = 2^14 the gap is two orders.
+	n := 1 << 14
+	tolBudget := SamplesFor(n, 0.1, 2)
+	if tolBudget < 100*int(math.Sqrt(float64(n))) {
+		t.Fatalf("tolerant budget %d suspiciously small", tolBudget)
+	}
+}

@@ -1,0 +1,70 @@
+// Package vv provides support-size estimation primitives — the symmetric-
+// property side of the paper's Section 4.2 reduction, where [VV10]'s
+// Ω(m/log m) lower bound for SUPPSIZE is transferred to histogram
+// testing. The estimators here are the classical plug-in and
+// fingerprint-based corrections:
+//
+//   - Distinct: the naive plug-in (observed distinct elements) — a lower
+//     bound that converges only after coupon-collector time;
+//   - Chao1: the abundance-based correction D + f1²/(2·f2);
+//   - GoodTuringUnseen: the Good–Turing estimate f1/m of the UNSEEN mass.
+//
+// Under the SUPPSIZE promise (every supported element has mass >= 1/m),
+// these resolve the paper's promise instances at O(m) samples; the [VV10]
+// bound says no estimator can do it with o(m/log m) samples, which is the
+// hardness the reduction inherits. The package also provides the promise-
+// instance decision rule used by experiment E5.
+package vv
+
+import (
+	"fmt"
+
+	"repro/internal/oracle"
+)
+
+// Distinct returns the number of distinct elements observed — the plug-in
+// support-size estimate (always an underestimate in expectation).
+func Distinct(c *oracle.Counts) int { return c.Distinct() }
+
+// Chao1 returns the Chao1 abundance estimator: D + f1²/(2·f2), where f1
+// and f2 are the singleton and doubleton fingerprint counts. When f2 = 0
+// the bias-corrected form D + f1(f1−1)/2 is used.
+func Chao1(c *oracle.Counts) float64 {
+	fp := c.Fingerprint()
+	d := float64(c.Distinct())
+	f1 := float64(fp[1])
+	f2 := float64(fp[2])
+	if f2 > 0 {
+		return d + f1*f1/(2*f2)
+	}
+	return d + f1*(f1-1)/2
+}
+
+// GoodTuringUnseen returns the Good–Turing estimate of the total
+// probability mass of unseen elements: f1/m.
+func GoodTuringUnseen(c *oracle.Counts) float64 {
+	if c.Total() == 0 {
+		return 1
+	}
+	return float64(c.Fingerprint()[1]) / float64(c.Total())
+}
+
+// PromiseDecision solves the SUPPSIZE promise problem of Section 4.2
+// (support <= m/3 versus >= 7m/8, masses >= 1/m when positive) by
+// sampling: draw sampleC·m samples and threshold the distinct count at
+// the midpoint. With sampleC >= 5 every supported element is seen with
+// probability >= 1−e⁻⁵, so the decision is correct with overwhelming
+// probability — at Θ(m) samples, consistent with (and not contradicting)
+// the Ω(m/log m) lower bound.
+func PromiseDecision(o oracle.Oracle, m int, sampleC float64) (largeSide bool, distinct int, err error) {
+	if m < 1 {
+		return false, 0, fmt.Errorf("vv: m = %d must be positive", m)
+	}
+	if sampleC <= 0 {
+		sampleC = 5
+	}
+	draws := int(sampleC * float64(m))
+	c := oracle.NewCounts(o.N(), oracle.DrawN(o, draws))
+	mid := (m/3 + 7*m/8) / 2
+	return c.Distinct() > mid, c.Distinct(), nil
+}

@@ -1,0 +1,120 @@
+package vv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lowerbound"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+func TestDistinct(t *testing.T) {
+	c := oracle.NewCounts(10, []int{1, 1, 2, 5})
+	if Distinct(c) != 3 {
+		t.Fatalf("distinct = %d", Distinct(c))
+	}
+}
+
+func TestChao1KnownFingerprints(t *testing.T) {
+	// 3 singletons, 1 doubleton, 1 tripleton: D=5, f1=3, f2=1 →
+	// 5 + 9/2 = 9.5.
+	c := oracle.NewCounts(100, []int{0, 1, 2, 3, 3, 4, 4, 4})
+	if got := Chao1(c); math.Abs(got-9.5) > 1e-12 {
+		t.Fatalf("Chao1 = %v, want 9.5", got)
+	}
+	// No doubletons: bias-corrected branch. D=2, f1=2 → 2 + 2·1/2 = 3.
+	c2 := oracle.NewCounts(100, []int{7, 9})
+	if got := Chao1(c2); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("Chao1 (f2=0) = %v, want 3", got)
+	}
+}
+
+func TestChao1ImprovesOnPlugIn(t *testing.T) {
+	// Uniform over 200 elements, sampled 150 times: the plug-in badly
+	// undercounts; Chao1 recovers much of the gap.
+	r := rng.New(1)
+	d, err := lowerbound.SupportInstance(200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := oracle.NewSampler(d, r)
+	var plugSum, chaoSum float64
+	const reps = 50
+	for i := 0; i < reps; i++ {
+		c := oracle.NewCounts(200, oracle.DrawN(s, 150))
+		plugSum += float64(Distinct(c))
+		chaoSum += Chao1(c)
+	}
+	plug, chao := plugSum/reps, chaoSum/reps
+	if plug >= 150 {
+		t.Fatalf("plug-in suspiciously high: %v", plug)
+	}
+	if math.Abs(chao-200) >= math.Abs(plug-200) {
+		t.Fatalf("Chao1 (%v) did not improve on plug-in (%v) toward 200", chao, plug)
+	}
+}
+
+func TestGoodTuringUnseen(t *testing.T) {
+	// Every sample distinct: unseen mass estimate 1.
+	c := oracle.NewCounts(100, []int{1, 2, 3, 4})
+	if got := GoodTuringUnseen(c); got != 1 {
+		t.Fatalf("all-singletons unseen = %v", got)
+	}
+	// All samples equal: no singletons, unseen estimate 0.
+	c2 := oracle.NewCounts(100, []int{5, 5, 5, 5})
+	if got := GoodTuringUnseen(c2); got != 0 {
+		t.Fatalf("no-singleton unseen = %v", got)
+	}
+	if got := GoodTuringUnseen(oracle.NewCounts(10, nil)); got != 1 {
+		t.Fatalf("empty-sample unseen = %v", got)
+	}
+}
+
+func TestGoodTuringTracksTruth(t *testing.T) {
+	// Uniform over 1000, 500 samples: true unseen mass ≈ e^{-0.5}·... the
+	// expected unseen mass is (1-1/1000)^500 ≈ 0.606; Good–Turing should
+	// land near it.
+	r := rng.New(2)
+	d, _ := lowerbound.SupportInstance(1000, 1000)
+	s := oracle.NewSampler(d, r)
+	sum := 0.0
+	const reps = 60
+	for i := 0; i < reps; i++ {
+		c := oracle.NewCounts(1000, oracle.DrawN(s, 500))
+		sum += GoodTuringUnseen(c)
+	}
+	got := sum / reps
+	want := math.Pow(1-1.0/1000, 500)
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("Good–Turing unseen = %v, want ~%v", got, want)
+	}
+}
+
+func TestPromiseDecision(t *testing.T) {
+	r := rng.New(3)
+	m := 120
+	small, _ := lowerbound.SupportInstance(m, lowerbound.SmallSupport(m))
+	large, _ := lowerbound.SupportInstance(m, lowerbound.LargeSupport(m))
+	for trial := 0; trial < 10; trial++ {
+		sSmall := oracle.NewSampler(small, r.Split())
+		isLarge, _, err := PromiseDecision(sSmall, m, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if isLarge {
+			t.Fatal("small side classified large")
+		}
+		sLarge := oracle.NewSampler(large, r.Split())
+		isLarge, distinct, err := PromiseDecision(sLarge, m, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isLarge {
+			t.Fatalf("large side classified small (distinct=%d)", distinct)
+		}
+	}
+	if _, _, err := PromiseDecision(oracle.NewSampler(small, r), 0, 5); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
