@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench experiments experiments-quick examples fuzz vet clean
+.PHONY: build test test-short bench experiments experiments-quick examples fuzz race test-race vet clean
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,15 @@ vet:
 	$(GO) vet ./...
 	gofmt -l .
 
-test:
+test: vet
 	$(GO) test ./...
 
-test-race:
-	$(GO) test -race ./internal/exper/ ./internal/stream/
+# Full race-detector pass; the sieve fan-out in internal/core is the
+# main concurrent code path.
+race:
+	$(GO) test -race ./...
+
+test-race: race
 
 test-short:
 	$(GO) test -short ./...

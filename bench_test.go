@@ -13,7 +13,12 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/exper"
+	"repro/internal/intervals"
+	"repro/internal/oracle"
+	"repro/internal/rng"
 )
 
 // runExperiment executes one registered experiment per benchmark
@@ -89,3 +94,78 @@ func BenchmarkE12CheckAblation(b *testing.B) { runExperiment(b, "E12") }
 // BenchmarkE13KnownPartition regenerates the Section 1.2 known-vs-unknown
 // partition comparison.
 func BenchmarkE13KnownPartition(b *testing.B) { runExperiment(b, "E13") }
+
+// benchEightHistogram returns a well-separated 8-histogram over [0, n)
+// for the sieve hot-path benchmark.
+func benchEightHistogram(n int) *dist.PiecewiseConstant {
+	masses := []float64{0.25, 0.05, 0.15, 0.02, 0.2, 0.08, 0.15, 0.1}
+	pieces := make([]dist.Piece, len(masses))
+	w := n / len(masses)
+	for j, m := range masses {
+		hi := (j + 1) * w
+		if j == len(masses)-1 {
+			hi = n
+		}
+		pieces[j] = dist.Piece{Iv: intervals.Interval{Lo: j * w, Hi: hi}, Mass: m}
+	}
+	return dist.MustPiecewiseConstant(n, pieces)
+}
+
+// benchSieveWorkers runs the full tester at production scale (n = 10⁵,
+// k = 8) with the derived Θ(log k) sieve replicates, the axis the
+// Workers knob parallelizes. Compare
+//
+//	go test -bench=SieveWorkers -benchtime=3x
+//
+// between the Serial and Parallel variants: on a multi-core machine the
+// parallel run should be well over 1.5× faster, with bit-identical
+// decisions per seed (asserted below).
+func benchSieveWorkers(b *testing.B, workers int) {
+	const n, k = 100_000, 8
+	const eps = 0.8
+	cfg := core.PracticalConfig()
+	cfg.SieveReps = 0 // derive Θ(log k) replicates as the paper does
+	cfg.Workers = workers
+	cfg.MaxSamples = 1 << 33
+	d := benchEightHistogram(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := oracle.NewSampler(d, rng.New(uint64(i)*2+1))
+		res, err := core.Test(s, rng.New(uint64(i)*2+2), k, eps, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Accept {
+			b.Fatalf("iteration %d: 8-histogram rejected at stage %s", i, res.Trace.RejectStage)
+		}
+	}
+}
+
+func BenchmarkSieveWorkersSerial(b *testing.B)   { benchSieveWorkers(b, 1) }
+func BenchmarkSieveWorkersParallel(b *testing.B) { benchSieveWorkers(b, 0) }
+
+// TestSieveWorkersBenchmarkDeterminism pins the benchmark's claim that
+// serial and parallel runs decide identically per seed.
+func TestSieveWorkersBenchmarkDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale tester run")
+	}
+	const n, k = 100_000, 8
+	const eps = 0.8
+	cfg := core.PracticalConfig()
+	cfg.SieveReps = 0
+	cfg.MaxSamples = 1 << 33
+	d := benchEightHistogram(n)
+	run := func(workers int) core.Trace {
+		cfg.Workers = workers
+		s := oracle.NewSampler(d, rng.New(1))
+		res, err := core.Test(s, rng.New(2), k, eps, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Trace
+	}
+	if serial, parallel := run(1), run(0); serial != parallel {
+		t.Fatalf("trace differs across workers:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

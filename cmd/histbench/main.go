@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/exper"
@@ -27,8 +28,15 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		verbose = flag.Bool("v", false, "print progress lines")
+		workers = flag.Int("workers", 0, "cap concurrency (trial fan-out and sieve replicates); 0 = all cores")
 	)
 	flag.Parse()
+
+	// Results are deterministic per seed regardless of this cap: all
+	// replicate randomness is pre-split before work is scheduled.
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if *list {
 		for _, e := range exper.Registry() {

@@ -49,20 +49,30 @@ type Options struct {
 	// Scale multiplies every stage's sample budget (default 1). Values
 	// below 1 trade confidence for samples.
 	Scale float64
+	// Workers bounds the goroutines the tester's sieve uses for its
+	// independent replicate draws: 0 means all cores (GOMAXPROCS), 1
+	// forces serial execution. The verdict is identical for every value —
+	// parallelism only changes wall-clock time, never the decision.
+	// Parallel drawing needs independent sample streams, so it takes
+	// effect for TestSources; the single-stream entry points (TestSource,
+	// TestSamples) always draw serially.
+	Workers int
 	// Config, if non-nil, overrides Paper/Scale entirely (expert use).
 	Config *core.Config
 }
 
 func (o Options) config() core.Config {
-	if o.Config != nil {
-		return *o.Config
-	}
 	cfg := core.PracticalConfig()
 	if o.Paper {
 		cfg = core.PaperConfig()
 	}
-	if o.Scale > 0 && o.Scale != 1 {
+	if o.Config != nil {
+		cfg = *o.Config
+	} else if o.Scale > 0 && o.Scale != 1 {
 		cfg = cfg.Scale(o.Scale)
+	}
+	if o.Workers != 0 {
+		cfg.Workers = o.Workers
 	}
 	return cfg
 }
@@ -127,6 +137,56 @@ func TestSource(src Source, n, k int, eps float64, opt Options) (Verdict, error)
 	}, nil
 }
 
+// Sources is a factory of independent sample streams over the same
+// distribution: mk(stream) must return a Source whose draws are
+// independent of every other stream's (e.g. samplers seeded per stream).
+// Stream 0 is the tester's primary stream; other ids are derived
+// deterministically from Options.Seed, so a run is reproducible end to
+// end. Each returned Source is only ever drawn from one goroutine at a
+// time, but DISTINCT streams may be drawn concurrently — they must not
+// share mutable state.
+type Sources func(stream uint64) Source
+
+// sourcesOracle adapts a Sources factory to the internal oracle
+// interface. Unlike the single-callback sourceOracle it supports cloning,
+// which lets the tester's sieve draw its independent replicates in
+// parallel (see Options.Workers).
+type sourcesOracle struct {
+	sourceOracle
+	mk Sources
+}
+
+func (s *sourcesOracle) Fork(r *rng.RNG) oracle.Oracle {
+	return &sourceOracle{n: s.n, src: s.mk(r.Uint64())}
+}
+
+func (s *sourcesOracle) Absorb(drawn int64) { s.count += drawn }
+
+var _ oracle.Forker = (*sourcesOracle)(nil)
+
+// TestSources is TestSource for callers that can provide independent
+// sample streams. The extra capability unlocks the tester's parallel
+// sieve path: the independent replicate batches are drawn concurrently
+// across Options.Workers goroutines, each from its own stream. The
+// verdict is deterministic given Options.Seed and the streams, and does
+// not depend on the worker count.
+func TestSources(mk Sources, n, k int, eps float64, opt Options) (Verdict, error) {
+	if n < 1 {
+		return Verdict{}, fmt.Errorf("histtest: n = %d must be positive", n)
+	}
+	o := &sourcesOracle{sourceOracle: sourceOracle{n: n, src: mk(0)}, mk: mk}
+	res, err := core.Test(o, opt.rng(), k, eps, opt.config())
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		IsKHistogram: res.Accept,
+		SamplesUsed:  o.count,
+		Stage:        res.Trace.RejectStage,
+		Detail:       res.Trace.RejectReason,
+	}, nil
+}
+
 // ErrNeedMoreSamples reports that a recorded dataset was too small for the
 // configured budgets.
 type ErrNeedMoreSamples struct {
@@ -148,8 +208,12 @@ func TestSamples(samples []int, n, k int, eps float64, opt Options) (v Verdict, 
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			if rep.Remaining() == 0 {
-				err = &ErrNeedMoreSamples{Have: len(samples), Used: len(samples)}
+			// Discriminate on the panic VALUE: only the replay oracle's own
+			// exhaustion sentinel means "dataset too small". Any other panic
+			// — even one that happens to coincide with an exhausted replay —
+			// is a real bug and must propagate.
+			if r == oracle.ErrReplayExhausted {
+				err = &ErrNeedMoreSamples{Have: len(samples), Used: int(rep.Samples())}
 				return
 			}
 			panic(r)

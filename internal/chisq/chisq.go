@@ -118,14 +118,20 @@ func sampledCorrection(ni int, mpi float64) float64 {
 }
 
 // ZDomain computes the statistic over a sub-domain G in a single pass over
-// the samples: O(#samples·log + #pieces of D* + #pieces of G).
+// the samples: O(#samples + #pieces of D* + #pieces of G). Domain
+// membership is resolved by a rolling cursor, since ForEach ascends.
 func ZDomain(counts *oracle.Counts, dstar dist.Distribution, g *intervals.Domain, m, tau float64) float64 {
+	gIvs := g.Intervals()
 	z := 0.0
-	for _, iv := range g.Intervals() {
+	for _, iv := range gIvs {
 		z += m * truncatedMass(dstar, iv.Lo, iv.Hi, tau)
 	}
+	gi := 0
 	counts.ForEach(func(i, ni int) {
-		if !g.Contains(i) {
+		for gi < len(gIvs) && gIvs[gi].Hi <= i {
+			gi++
+		}
+		if gi >= len(gIvs) || i < gIvs[gi].Lo {
 			return
 		}
 		pi := dstar.Prob(i)
@@ -141,27 +147,42 @@ func ZDomain(counts *oracle.Counts, dstar dist.Distribution, g *intervals.Domain
 // of the partition p, each restricted to the sub-domain g. Intervals
 // disjoint from g get Z_j = 0. This is the refinement of [ADK15] that
 // the sieve consumes (independent Z_j under Poissonization). The cost is a
-// single pass over the samples plus O(K) mass computations.
+// single pass over the samples plus an O(K + #pieces of G) merge walk:
+// both the partition intervals and the domain pieces are sorted, so their
+// intersections — and, since ForEach ascends, the per-sample domain and
+// partition lookups — come from linear cursors rather than nested loops or
+// binary searches.
 func ZPerInterval(counts *oracle.Counts, dstar dist.Distribution, p *intervals.Partition, g *intervals.Domain, m, tau float64) []float64 {
 	zs := make([]float64, p.Count())
-	for j := range zs {
+	gIvs := g.Intervals()
+	for j, gi := 0, 0; j < len(zs) && gi < len(gIvs); {
 		pIv := p.Interval(j)
-		for _, gIv := range g.Intervals() {
-			iv := pIv.Intersect(gIv)
-			if !iv.Empty() {
-				zs[j] += m * truncatedMass(dstar, iv.Lo, iv.Hi, tau)
-			}
+		iv := pIv.Intersect(gIvs[gi])
+		if !iv.Empty() {
+			zs[j] += m * truncatedMass(dstar, iv.Lo, iv.Hi, tau)
+		}
+		if pIv.Hi <= gIvs[gi].Hi {
+			j++
+		} else {
+			gi++
 		}
 	}
+	gi, pj := 0, 0
 	counts.ForEach(func(i, ni int) {
-		if !g.Contains(i) {
+		for gi < len(gIvs) && gIvs[gi].Hi <= i {
+			gi++
+		}
+		if gi >= len(gIvs) || i < gIvs[gi].Lo {
 			return
 		}
 		pi := dstar.Prob(i)
 		if pi < tau {
 			return
 		}
-		zs[p.Find(i)] += sampledCorrection(ni, m*pi)
+		for p.Interval(pj).Hi <= i {
+			pj++
+		}
+		zs[pj] += sampledCorrection(ni, m*pi)
 	})
 	return zs
 }
@@ -213,11 +234,10 @@ func Test(o oracle.Oracle, r *rng.RNG, dstar dist.Distribution, g *intervals.Dom
 	n := dstar.N()
 	m := params.SampleMean(n, eps)
 	tau := params.Threshold(n, eps)
-	samples := oracle.DrawPoisson(o, r, m)
-	counts := oracle.NewCounts(n, samples)
+	counts := oracle.DrawCounts(o, r, m)
 	z := ZDomain(counts, dstar, g, m, tau)
 	thr := params.AcceptFactor * m * eps * eps
-	return Result{Accept: z <= thr, Z: z, Threshold: thr, M: m, Drawn: len(samples)}
+	return Result{Accept: z <= thr, Z: z, Threshold: thr, M: m, Drawn: counts.Total()}
 }
 
 // TestFixed is Test without the Poissonization trick: it draws exactly m

@@ -1,0 +1,123 @@
+package chisq
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/intervals"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// zPerIntervalNaive is the pre-merge-walk reference implementation of
+// ZPerInterval: O(K·|G|) nested intersection plus binary searches per
+// sampled element. The optimized version must match it exactly.
+func zPerIntervalNaive(counts *oracle.Counts, dstar dist.Distribution, p *intervals.Partition, g *intervals.Domain, m, tau float64) []float64 {
+	zs := make([]float64, p.Count())
+	for j := range zs {
+		pIv := p.Interval(j)
+		for _, gIv := range g.Intervals() {
+			iv := pIv.Intersect(gIv)
+			if !iv.Empty() {
+				zs[j] += m * truncatedMass(dstar, iv.Lo, iv.Hi, tau)
+			}
+		}
+	}
+	counts.ForEach(func(i, ni int) {
+		if !g.Contains(i) {
+			return
+		}
+		pi := dstar.Prob(i)
+		if pi < tau {
+			return
+		}
+		zs[p.Find(i)] += sampledCorrection(ni, m*pi)
+	})
+	return zs
+}
+
+// randomSetup builds a random partition, sub-domain, hypothesis, and
+// Poissonized counts over [0, n).
+func randomSetup(r *rng.RNG, n int) (*intervals.Partition, *intervals.Domain, dist.Distribution, *oracle.Counts, float64, float64) {
+	cuts := make([]int, r.Intn(12))
+	for i := range cuts {
+		cuts[i] = 1 + r.Intn(n-1)
+	}
+	p := intervals.FromBoundaries(n, cuts)
+	keep := make([]bool, p.Count())
+	any := false
+	for j := range keep {
+		keep[j] = r.Bernoulli(0.7)
+		any = any || keep[j]
+	}
+	if !any {
+		keep[0] = true
+	}
+	g := intervals.FromPartitionSubset(p, keep)
+	masses := make([]float64, n)
+	total := 0.0
+	for i := range masses {
+		masses[i] = r.Float64Open()
+		total += masses[i]
+	}
+	for i := range masses {
+		masses[i] /= total
+	}
+	dstar := dist.MustDense(masses)
+	m := 200 + 2000*r.Float64()
+	s := oracle.NewSampler(dstar, r.Split())
+	counts := oracle.DrawCounts(s, r, m)
+	tau := 0.3 / float64(n) * r.Float64()
+	return p, g, dstar, counts, m, tau
+}
+
+func TestZPerIntervalMatchesNaiveReference(t *testing.T) {
+	r := rng.New(101)
+	for trial := 0; trial < 50; trial++ {
+		n := 16 + r.Intn(200)
+		p, g, dstar, counts, m, tau := randomSetup(r, n)
+		got := ZPerInterval(counts, dstar, p, g, m, tau)
+		want := zPerIntervalNaive(counts, dstar, p, g, m, tau)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-9*(1+math.Abs(want[j])) {
+				t.Fatalf("trial %d (n=%d): Z[%d] = %v, reference %v", trial, n, j, got[j], want[j])
+			}
+		}
+		// ZDomain's cursor walk must match the per-interval sum.
+		zd := ZDomain(counts, dstar, g, m, tau)
+		sum := 0.0
+		for _, z := range got {
+			sum += z
+		}
+		if math.Abs(zd-sum) > 1e-6*(1+math.Abs(sum)) {
+			t.Fatalf("trial %d: ZDomain %v != ΣZPerInterval %v", trial, zd, sum)
+		}
+	}
+}
+
+func TestZPerIntervalDenseSparseIdentical(t *testing.T) {
+	r := rng.New(102)
+	for trial := 0; trial < 20; trial++ {
+		n := 16 + r.Intn(200)
+		p, g, dstar, counts, m, tau := randomSetup(r, n)
+		samples := make([]int, 0, counts.Total())
+		counts.ForEach(func(i, ni int) {
+			for c := 0; c < ni; c++ {
+				samples = append(samples, i)
+			}
+		})
+		dense := oracle.NewDenseCounts(n, samples)
+		sparse := oracle.NewSparseCounts(n, samples)
+		zDense := ZPerInterval(dense, dstar, p, g, m, tau)
+		zSparse := ZPerInterval(sparse, dstar, p, g, m, tau)
+		for j := range zDense {
+			if zDense[j] != zSparse[j] {
+				t.Fatalf("trial %d: dense Z[%d] = %v, sparse %v", trial, j, zDense[j], zSparse[j])
+			}
+		}
+		if a, b := ZDomain(dense, dstar, g, m, tau), ZDomain(sparse, dstar, g, m, tau); a != b {
+			t.Fatalf("trial %d: ZDomain dense %v != sparse %v", trial, a, b)
+		}
+	}
+}

@@ -21,6 +21,7 @@ package core
 
 import (
 	"math"
+	"runtime"
 
 	"repro/internal/chisq"
 )
@@ -79,11 +80,30 @@ type Config struct {
 	// exceeds it. Zero means 2³¹.
 	MaxSamples int64
 
+	// Workers bounds the goroutines used for the sieve's independent
+	// replicate draws: 0 means GOMAXPROCS, 1 forces serial execution, and
+	// higher values cap the fan-out. The decision and the Trace are
+	// identical for every value — each replicate's randomness is a
+	// sequential Split of the tester RNG taken before any goroutine
+	// launches — so Workers is purely a throughput knob. Parallelism
+	// requires an oracle that supports cloning (oracle.Forker, e.g. the
+	// alias-table Sampler); Replay and Source-backed oracles always run
+	// the serial path.
+	Workers int
+
 	// SkipCheck disables the Step-10 DP check (the "Checking" stage of
 	// Algorithm 1). ABLATION ONLY: without it the tester loses soundness
 	// against distributions that match their own partition flattening —
 	// experiment E12 demonstrates the resulting false accepts.
 	SkipCheck bool
+}
+
+// workers resolves the Workers knob: 0 means GOMAXPROCS.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // maxSamples returns the effective budget guard.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/chisq"
 	"repro/internal/dist"
@@ -38,9 +40,10 @@ type Trace struct {
 	SieveSamples     int64
 	TestSamples      int64
 
-	RemovedHeavy  int     // stage-1 removals
-	RemovedRounds int     // stage-2 removals
-	RemovedMass   float64 // D̂-mass of removed intervals
+	RemovedHeavy    int     // stage-1 removals
+	HeavySingletons int     // heavy intervals the sieve could not remove (singletons)
+	RemovedRounds   int     // stage-2 removals
+	RemovedMass     float64 // D̂-mass of removed intervals
 
 	CheckRelaxed float64 // DP distance of D̂ to H_k on G
 	FinalZ       float64 // final test statistic (0 if not reached)
@@ -137,14 +140,73 @@ func Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result,
 	}
 	domain := func() *intervals.Domain { return intervals.FromPartitionSubset(p, keep) }
 
+	// The reps replicates per sieve decision are independent Poissonized
+	// batches (the median-amplification trick of §3.2.1), so they fan out
+	// across workers when the oracle supports cloning. Replay and
+	// Source-backed oracles cannot be cloned (their streams are inherently
+	// serial) and keep the exact legacy draw order. Determinism contract:
+	// each replicate's randomness is a sequential Split of r taken BEFORE
+	// any goroutine launches, so the decision and Trace are bit-identical
+	// for every Workers value.
+	workers := cfg.workers()
+	var forker oracle.Forker
+	if f, ok := o.(oracle.Forker); ok && reps > 1 && f.Fork(rng.New(0)) != nil {
+		forker = f
+	}
+
 	// computeZs draws fresh Poissonized samples reps times and returns the
 	// per-interval medians.
 	computeZs := func() []float64 {
 		g := domain()
 		med := make([][]float64, reps)
-		for t := 0; t < reps; t++ {
-			counts := oracle.NewCounts(n, oracle.DrawPoisson(o, r, mSieve))
-			med[t] = chisq.ZPerInterval(counts, dhat, p, g, mSieve, tau)
+		if forker != nil {
+			type replicate struct {
+				o oracle.Oracle
+				r *rng.RNG
+			}
+			jobs := make([]replicate, reps)
+			for t := range jobs {
+				rt := r.Split()
+				jobs[t] = replicate{o: forker.Fork(rt), r: rt}
+			}
+			run := func(t int) {
+				counts := oracle.DrawCounts(jobs[t].o, jobs[t].r, mSieve)
+				med[t] = chisq.ZPerInterval(counts, dhat, p, g, mSieve, tau)
+			}
+			if w := min(workers, reps); w <= 1 {
+				for t := range jobs {
+					run(t)
+				}
+			} else {
+				var wg sync.WaitGroup
+				next := int64(-1)
+				for i := 0; i < w; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							t := int(atomic.AddInt64(&next, 1))
+							if t >= reps {
+								return
+							}
+							run(t)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			// Fold the per-replicate draw counters back into the parent so
+			// Trace accounting stays exact.
+			var drawn int64
+			for t := range jobs {
+				drawn += jobs[t].o.Samples()
+			}
+			forker.Absorb(drawn)
+		} else {
+			for t := 0; t < reps; t++ {
+				counts := oracle.DrawCounts(o, r, mSieve)
+				med[t] = chisq.ZPerInterval(counts, dhat, p, g, mSieve, tau)
+			}
 		}
 		zs := make([]float64, K)
 		col := make([]float64, reps)
@@ -168,18 +230,29 @@ func Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result,
 		return &Result{Accept: false, Trace: tr, Learned: dhat, Domain: domain()}, nil
 	}
 
-	// Stage 3a: discard the heavy offenders.
+	// Stage 3a: discard the heavy offenders. EVERY interval above the
+	// cutoff counts toward the > k rejection budget — a far distribution
+	// may concentrate its χ² excess on singleton intervals, which the
+	// sieve has no right to remove but must still hold against the
+	// k-interval allowance — while only removable (non-singleton)
+	// intervals are actually discarded.
 	zs := computeZs()
 	heavyThr := cfg.SieveHeavyFactor * mSieve * alpha * alpha
+	heavyTotal := 0
 	var heavyIdx []int
 	for j := 0; j < K; j++ {
-		if removable(j) && zs[j] > heavyThr {
+		if !keep[j] || zs[j] <= heavyThr {
+			continue
+		}
+		heavyTotal++
+		if removable(j) {
 			heavyIdx = append(heavyIdx, j)
 		}
 	}
-	if len(heavyIdx) > k {
+	tr.HeavySingletons = heavyTotal - len(heavyIdx)
+	if heavyTotal > k {
 		tr.SieveSamples = took()
-		return reject(StageSieveHeavy, fmt.Sprintf("%d intervals above the heavy cutoff, k = %d", len(heavyIdx), k))
+		return reject(StageSieveHeavy, fmt.Sprintf("%d intervals above the heavy cutoff (%d unremovable singletons), k = %d", heavyTotal, tr.HeavySingletons, k))
 	}
 	for _, j := range heavyIdx {
 		remove(j)

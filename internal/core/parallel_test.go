@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// runOnce executes one tester invocation on a fresh sampler with fully
+// pinned randomness.
+func runOnce(t *testing.T, d dist.Distribution, k int, eps float64, cfg Config, sampleSeed, testSeed uint64) (*Result, int64) {
+	t.Helper()
+	s := oracle.NewSampler(d, rng.New(sampleSeed))
+	res, err := Test(s, rng.New(testSeed), k, eps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, s.Samples()
+}
+
+func TestWorkersDeterminism(t *testing.T) {
+	// The decision, the full Trace, and the exact sample accounting must
+	// not depend on the worker count: replicate randomness is pre-split
+	// before any goroutine launches.
+	d := threeHistogram(2048)
+	cfg := PracticalConfig()
+	cfg.SieveReps = 5 // >1 replicate so the parallel fan-out engages
+	for _, seeds := range [][2]uint64{{100, 200}, {101, 201}, {102, 202}} {
+		cfg.Workers = 1
+		serial, serialDrawn := runOnce(t, d, 4, 0.8, cfg, seeds[0], seeds[1])
+		cfg.Workers = 8
+		parallel, parallelDrawn := runOnce(t, d, 4, 0.8, cfg, seeds[0], seeds[1])
+		if serial.Accept != parallel.Accept {
+			t.Fatalf("seeds %v: decision differs across workers: %v vs %v", seeds, serial.Accept, parallel.Accept)
+		}
+		if serial.Trace != parallel.Trace {
+			t.Fatalf("seeds %v: trace differs across workers:\nserial:   %+v\nparallel: %+v", seeds, serial.Trace, parallel.Trace)
+		}
+		if serialDrawn != parallelDrawn {
+			t.Fatalf("seeds %v: draw counts differ: %d vs %d", seeds, serialDrawn, parallelDrawn)
+		}
+		if serial.Domain.String() != parallel.Domain.String() {
+			t.Fatalf("seeds %v: sieved domains differ", seeds)
+		}
+		if serialDrawn != serial.Trace.TotalSamples() {
+			t.Fatalf("seeds %v: trace accounting %d != oracle count %d", seeds, serial.Trace.TotalSamples(), serialDrawn)
+		}
+	}
+}
+
+func TestWorkersCapDeterminism(t *testing.T) {
+	// Intermediate caps (2, 3 workers) must agree with the serial run too.
+	d := threeHistogram(1024)
+	cfg := PracticalConfig()
+	cfg.SieveReps = 5
+	cfg.Workers = 1
+	want, _ := runOnce(t, d, 3, 0.8, cfg, 300, 400)
+	for _, w := range []int{0, 2, 3} {
+		cfg.Workers = w
+		got, _ := runOnce(t, d, 3, 0.8, cfg, 300, 400)
+		if got.Trace != want.Trace {
+			t.Fatalf("workers=%d: trace differs from serial", w)
+		}
+	}
+}
+
+// switchOracle draws from a until cut draws have been made, then from b —
+// a distribution that shifts between the learning and sieving stages.
+// It deliberately does NOT implement oracle.Forker, pinning the serial
+// sieve path.
+type switchOracle struct {
+	n     int
+	a, b  oracle.Oracle
+	cut   int64
+	count int64
+}
+
+func (s *switchOracle) N() int { return s.n }
+func (s *switchOracle) Draw() int {
+	s.count++
+	if s.count <= s.cut {
+		return s.a.Draw()
+	}
+	return s.b.Draw()
+}
+func (s *switchOracle) Samples() int64 { return s.count }
+
+func TestHeavySingletonsTripSieveRejection(t *testing.T) {
+	// Regression test for the stage-3a counting bug: when every heavy
+	// offender is a singleton interval, the sieve can remove none of them,
+	// but more than k of them must still trip StageSieveHeavy (previously
+	// only removable intervals counted, so this rejection was unreachable
+	// and the tester limped to a later stage).
+	//
+	// Construction: 8 spikes of mass 1/8 — ApproxPart isolates each as a
+	// heavy singleton and the learner records mass 1/8 on each. Then the
+	// distribution silently shifts all mass to element 0 before the sieve
+	// draws, so every spike singleton carries an enormous χ² statistic.
+	const n, k = 64, 2
+	const eps = 0.4
+	spikes := make([]float64, n)
+	for j := 0; j < 8; j++ {
+		spikes[j*8] = 1.0 / 8
+	}
+	distA := dist.MustDense(spikes)
+	point := make([]float64, n)
+	point[0] = 1
+	distB := dist.MustDense(point)
+	cfg := PracticalConfig()
+
+	// Dry run on the stationary distribution to learn the exact
+	// partition+learn draw budget; both runs share all seeds, so the
+	// switching run consumes identically many draws in those stages.
+	dry := oracle.NewSampler(distA, rng.New(500))
+	dryRes, err := Test(dry, rng.New(501), k, eps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := dryRes.Trace.PartitionSamples + dryRes.Trace.LearnSamples
+
+	sw := &switchOracle{
+		n:   n,
+		a:   oracle.NewSampler(distA, rng.New(500)),
+		b:   oracle.NewSampler(distB, rng.New(502)),
+		cut: cut,
+	}
+	res, err := Test(sw, rng.New(501), k, eps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept {
+		t.Fatal("shifted distribution accepted")
+	}
+	if res.Trace.RejectStage != StageSieveHeavy {
+		t.Fatalf("reject stage = %q (%s), want %q", res.Trace.RejectStage, res.Trace.RejectReason, StageSieveHeavy)
+	}
+	if res.Trace.HeavySingletons <= k {
+		t.Fatalf("HeavySingletons = %d, want > k = %d (the offenders are all singletons)", res.Trace.HeavySingletons, k)
+	}
+}

@@ -6,6 +6,7 @@
 package oracle
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -26,6 +27,25 @@ type Oracle interface {
 	Samples() int64
 }
 
+// Forker is an Oracle that can spawn independent clones for concurrent
+// batch drawing (the parallel sieve replicates of core.Test). Fork returns
+// a clone with private randomness and a zeroed sample counter; the clone
+// may be drawn from concurrently with other clones (but every individual
+// oracle remains non-concurrency-safe on its own). Fork returns nil when
+// the oracle — or an oracle it wraps — is inherently serial (Replay and
+// arbitrary Source adapters are); callers must fall back to drawing from
+// the parent serially in that case.
+type Forker interface {
+	Oracle
+	// Fork returns an independent clone drawing its randomness from r, or
+	// nil if the oracle cannot be cloned.
+	Fork(r *rng.RNG) Oracle
+	// Absorb folds draws performed on clones back into the parent's
+	// Samples() counter, preserving exact budget accounting. It must not
+	// be called while clones are still drawing.
+	Absorb(drawn int64)
+}
+
 // DrawN draws m samples from o.
 func DrawN(o Oracle, m int) []int {
 	out := make([]int, m)
@@ -39,6 +59,28 @@ func DrawN(o Oracle, m int) []int {
 // trick of Section 2. The returned slice length is the Poisson variate.
 func DrawPoisson(o Oracle, r *rng.RNG, mean float64) []int {
 	return DrawN(o, r.Poisson(mean))
+}
+
+// DrawCounts draws Poisson(mean) samples from o and tallies them directly
+// into a Counts, never materializing the intermediate sample slice. It
+// consumes exactly the same randomness as
+//
+//	NewCounts(o.N(), DrawPoisson(o, r, mean))
+//
+// (one Poisson variate from r, then that many draws from o) and yields
+// identical counts, so replay-backed oracles see an unchanged stream. The
+// mean is used to pick the counts representation up front: dense for
+// sample sizes comparable to the domain, sparse otherwise.
+func DrawCounts(o Oracle, r *rng.RNG, mean float64) *Counts {
+	if s, ok := o.(*Sampler); ok {
+		return s.DrawPoissonCounts(r, mean)
+	}
+	m := r.Poisson(mean)
+	c := newCountsSized(o.N(), m)
+	for i := 0; i < m; i++ {
+		c.add(o.Draw())
+	}
+	return c
 }
 
 // Sampler samples from a known dist.Distribution using Walker–Vose alias
@@ -130,6 +172,12 @@ func (s *Sampler) N() int { return s.n }
 // Draw returns one sample.
 func (s *Sampler) Draw() int {
 	s.count++
+	return s.draw()
+}
+
+// draw is the uncounted alias-table draw shared by Draw and the batched
+// counting paths.
+func (s *Sampler) draw() int {
 	j := s.r.Intn(len(s.prob))
 	if s.r.Float64() >= s.prob[j] {
 		j = s.alias[j]
@@ -140,11 +188,47 @@ func (s *Sampler) Draw() int {
 	return s.lo[j] + s.r.Intn(s.hi[j]-s.lo[j])
 }
 
+// DrawPoissonCounts is DrawCounts specialized to the alias-table sampler:
+// the Poisson variate comes from r, the draws from the sampler's own
+// stream, and the tally loop runs devirtualized. The randomness consumed
+// is identical to the generic DrawCounts path.
+func (s *Sampler) DrawPoissonCounts(r *rng.RNG, mean float64) *Counts {
+	m := r.Poisson(mean)
+	c := newCountsSized(s.n, m)
+	s.count += int64(m)
+	if c.dense != nil {
+		for i := 0; i < m; i++ {
+			v := s.draw()
+			if c.dense[v] == 0 {
+				c.distinct++
+			}
+			c.dense[v]++
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			c.m[s.draw()]++
+		}
+	}
+	c.total = m
+	return c
+}
+
 // Samples returns how many samples have been drawn.
 func (s *Sampler) Samples() int64 { return s.count }
 
 // ResetCount zeroes the sample counter (e.g. between experiment trials).
 func (s *Sampler) ResetCount() { s.count = 0 }
+
+// Fork returns an independent sampler over the same distribution, sharing
+// the immutable alias tables but drawing from r with a zeroed counter.
+func (s *Sampler) Fork(r *rng.RNG) Oracle {
+	return &Sampler{n: s.n, r: r, lo: s.lo, hi: s.hi, alias: s.alias, prob: s.prob}
+}
+
+// Absorb folds clone draws back into the sampler's counter.
+func (s *Sampler) Absorb(drawn int64) { s.count += drawn }
+
+var _ Forker = (*Sampler)(nil)
 
 // Permuted wraps an oracle, relabelling samples through a fixed
 // permutation sigma of the domain — the embedding step of the paper's
@@ -174,6 +258,29 @@ func (p *Permuted) Draw() int { return p.sigma[p.inner.Draw()] }
 
 // Samples returns the inner oracle's count.
 func (p *Permuted) Samples() int64 { return p.inner.Samples() }
+
+// Fork clones the permuted oracle when the inner oracle supports it; the
+// clone shares the immutable permutation table.
+func (p *Permuted) Fork(r *rng.RNG) Oracle {
+	f, ok := p.inner.(Forker)
+	if !ok {
+		return nil
+	}
+	c := f.Fork(r)
+	if c == nil {
+		return nil
+	}
+	return &Permuted{inner: c, sigma: p.sigma}
+}
+
+// Absorb folds clone draws into the inner oracle's counter.
+func (p *Permuted) Absorb(drawn int64) {
+	if f, ok := p.inner.(Forker); ok {
+		f.Absorb(drawn)
+	}
+}
+
+var _ Forker = (*Permuted)(nil)
 
 // Conditional restricts an oracle to a sub-domain by rejection sampling:
 // Draw retries until the inner sample lands in the domain — the
@@ -221,9 +328,39 @@ func (c *Conditional) Draw() int {
 // Samples returns the inner oracle's draw count (including rejections).
 func (c *Conditional) Samples() int64 { return c.inner.Samples() }
 
+// Fork clones the conditional oracle when the inner oracle supports it;
+// the clone shares the immutable domain.
+func (c *Conditional) Fork(r *rng.RNG) Oracle {
+	f, ok := c.inner.(Forker)
+	if !ok {
+		return nil
+	}
+	clone := f.Fork(r)
+	if clone == nil {
+		return nil
+	}
+	return &Conditional{inner: clone, domain: c.domain, maxRetry: c.maxRetry}
+}
+
+// Absorb folds clone draws into the inner oracle's counter.
+func (c *Conditional) Absorb(drawn int64) {
+	if f, ok := c.inner.(Forker); ok {
+		f.Absorb(drawn)
+	}
+}
+
+var _ Forker = (*Conditional)(nil)
+
+// ErrReplayExhausted is the value Replay.Draw panics with when the
+// recording runs out. Callers that run a tester over recorded data (e.g.
+// histtest.TestSamples) discriminate on this exact value when recovering,
+// so unrelated panics propagate instead of being misreported as a
+// too-small dataset.
+var ErrReplayExhausted = errors.New("oracle: replay exhausted")
+
 // Replay replays a recorded sequence of samples (e.g. a dataset read from
-// disk by the CLI). Draw panics when the recording is exhausted; callers
-// should check Remaining first.
+// disk by the CLI). Draw panics with ErrReplayExhausted when the recording
+// is exhausted; callers should check Remaining first.
 type Replay struct {
 	n     int
 	data  []int
@@ -250,7 +387,7 @@ func (rp *Replay) N() int { return rp.n }
 // Draw returns the next recorded sample.
 func (rp *Replay) Draw() int {
 	if rp.next >= len(rp.data) {
-		panic("oracle: replay exhausted")
+		panic(ErrReplayExhausted)
 	}
 	v := rp.data[rp.next]
 	rp.next++
@@ -264,22 +401,82 @@ func (rp *Replay) Samples() int64 { return rp.count }
 // Remaining returns how many recorded samples are left.
 func (rp *Replay) Remaining() int { return len(rp.data) - rp.next }
 
-// Counts is a sparse per-element occurrence vector over [0, n).
+// denseLimit caps the domain size for which Counts uses the dense
+// representation: a []int32 of this length is 16 MiB.
+const denseLimit = 1 << 22
+
+// Counts is a per-element occurrence vector over [0, n). Exactly one of
+// two backings is live: a dense []int32 (chosen when the sample size is
+// comparable to a moderately sized domain — the sieve and final-test hot
+// path) or a sparse map (large domains or thin samples). Both expose the
+// same API and identical iteration order; NewCounts and DrawCounts choose
+// automatically, NewDenseCounts/NewSparseCounts force a backing.
 type Counts struct {
-	n     int
-	m     map[int]int
-	total int
+	n        int
+	dense    []int32
+	m        map[int]int
+	distinct int // dense-mode distinct tally (sparse mode uses len(m))
+	total    int
 }
 
-// NewCounts tallies the occurrence of each element in samples.
+// useDense reports whether a tally of m samples over [0, n) should use the
+// dense backing: the domain must be modest, and the O(n) iteration cost of
+// the dense walk must be within a constant factor of the O(m) tally work.
+func useDense(n, m int) bool {
+	return n <= denseLimit && m >= n/8
+}
+
+// newCountsSized returns an empty Counts with the backing chosen for m
+// samples over [0, n).
+func newCountsSized(n, m int) *Counts {
+	if useDense(n, m) {
+		return &Counts{n: n, dense: make([]int32, n)}
+	}
+	return &Counts{n: n, m: make(map[int]int, m)}
+}
+
+// add tallies one sample.
+func (c *Counts) add(v int) {
+	if v < 0 || v >= c.n {
+		panic(fmt.Sprintf("oracle: sample %d outside [0,%d)", v, c.n))
+	}
+	if c.dense != nil {
+		if c.dense[v] == 0 {
+			c.distinct++
+		}
+		c.dense[v]++
+	} else {
+		c.m[v]++
+	}
+	c.total++
+}
+
+// NewCounts tallies the occurrence of each element in samples, choosing
+// the dense or sparse backing by domain and sample size.
 func NewCounts(n int, samples []int) *Counts {
+	c := newCountsSized(n, len(samples))
+	for _, s := range samples {
+		c.add(s)
+	}
+	return c
+}
+
+// NewDenseCounts tallies samples into a dense []int32 backing regardless
+// of the size heuristic (tests and benchmarks; n must be modest).
+func NewDenseCounts(n int, samples []int) *Counts {
+	c := &Counts{n: n, dense: make([]int32, n)}
+	for _, s := range samples {
+		c.add(s)
+	}
+	return c
+}
+
+// NewSparseCounts tallies samples into a map backing regardless of the
+// size heuristic.
+func NewSparseCounts(n int, samples []int) *Counts {
 	c := &Counts{n: n, m: make(map[int]int, len(samples))}
 	for _, s := range samples {
-		if s < 0 || s >= n {
-			panic(fmt.Sprintf("oracle: sample %d outside [0,%d)", s, n))
-		}
-		c.m[s]++
-		c.total++
+		c.add(s)
 	}
 	return c
 }
@@ -290,15 +487,39 @@ func (c *Counts) N() int { return c.n }
 // Total returns the number of samples tallied.
 func (c *Counts) Total() int { return c.total }
 
+// Dense reports whether the counts use the dense backing.
+func (c *Counts) Dense() bool { return c.dense != nil }
+
 // Of returns the occurrence count of element i.
-func (c *Counts) Of(i int) int { return c.m[i] }
+func (c *Counts) Of(i int) int {
+	if c.dense != nil {
+		if i < 0 || i >= c.n {
+			return 0
+		}
+		return int(c.dense[i])
+	}
+	return c.m[i]
+}
 
 // Distinct returns the number of distinct elements observed.
-func (c *Counts) Distinct() int { return len(c.m) }
+func (c *Counts) Distinct() int {
+	if c.dense != nil {
+		return c.distinct
+	}
+	return len(c.m)
+}
 
 // ForEach calls f for every observed element (ascending order) with its
 // count.
 func (c *Counts) ForEach(f func(elem, count int)) {
+	if c.dense != nil {
+		for i, v := range c.dense {
+			if v != 0 {
+				f(i, int(v))
+			}
+		}
+		return
+	}
 	keys := make([]int, 0, len(c.m))
 	for k := range c.m {
 		keys = append(keys, k)
@@ -311,9 +532,21 @@ func (c *Counts) ForEach(f func(elem, count int)) {
 
 // InRange returns the number of samples that fell in [lo, hi).
 func (c *Counts) InRange(lo, hi int) int {
+	total := 0
+	if c.dense != nil {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > c.n {
+			hi = c.n
+		}
+		for i := lo; i < hi; i++ {
+			total += int(c.dense[i])
+		}
+		return total
+	}
 	// Iterate the map: cheaper than sorting when called rarely; callers
 	// needing many range queries should use Empirical instead.
-	total := 0
 	for k, v := range c.m {
 		if k >= lo && k < hi {
 			total += v
@@ -330,9 +563,9 @@ func (c *Counts) Empirical() *dist.Dense {
 		panic("oracle: empirical distribution of zero samples")
 	}
 	p := make([]float64, c.n)
-	for k, v := range c.m {
-		p[k] = float64(v) / float64(c.total)
-	}
+	c.ForEach(func(i, v int) {
+		p[i] = float64(v) / float64(c.total)
+	})
 	return dist.MustDense(p)
 }
 
@@ -342,9 +575,9 @@ func (c *Counts) Empirical() *dist.Dense {
 // exactly this.
 func (c *Counts) Fingerprint() map[int]int {
 	fp := make(map[int]int)
-	for _, v := range c.m {
+	c.ForEach(func(_, v int) {
 		fp[v]++
-	}
+	})
 	return fp
 }
 
@@ -352,8 +585,8 @@ func (c *Counts) Fingerprint() map[int]int {
 // collided: Σ_i C(count_i, 2).
 func (c *Counts) PairCollisions() int64 {
 	var total int64
-	for _, v := range c.m {
+	c.ForEach(func(_, v int) {
 		total += int64(v) * int64(v-1) / 2
-	}
+	})
 	return total
 }
