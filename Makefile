@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench experiments experiments-quick examples fuzz race test-race vet clean
+.PHONY: build test test-short bench bench-json experiments experiments-quick examples fuzz race test-race vet clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,11 @@ test-short:
 # Micro-benchmarks and the E1–E12 tables via testing.B (quick mode).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the recorded hot-path perf numbers (BENCH_hotpath.json).
+# The pre-pooling baseline embedded in cmd/histbench is preserved.
+bench-json:
+	$(GO) run ./cmd/histbench -hotpath-json BENCH_hotpath.json
 
 # Full-fidelity experiment suite (minutes).
 experiments:

@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/benchhot"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/exper"
@@ -143,6 +144,21 @@ func benchSieveWorkers(b *testing.B, workers int) {
 
 func BenchmarkSieveWorkersSerial(b *testing.B)   { benchSieveWorkers(b, 1) }
 func BenchmarkSieveWorkersParallel(b *testing.B) { benchSieveWorkers(b, 0) }
+
+// BenchmarkCoreTestHotPath measures the steady-state cost of repeated
+// tester invocations at production scale (n = 10⁵, k = 8) — the
+// configuration the perf trajectory in BENCH_hotpath.json tracks (see
+// `make bench-json`). Run with -benchmem; the allocs/op figure is the
+// headline number.
+func BenchmarkCoreTestHotPath(b *testing.B) { benchhot.CoreTestHotPath(b, 1) }
+
+// BenchmarkCoreTestHotPathParallel is the same workload with the sieve
+// replicates fanned out across all cores.
+func BenchmarkCoreTestHotPathParallel(b *testing.B) { benchhot.CoreTestHotPath(b, 0) }
+
+// BenchmarkDrawCountsPooled measures one pooled Poissonized dense batch
+// draw at n = m = 10⁵ — zero allocations in steady state.
+func BenchmarkDrawCountsPooled(b *testing.B) { benchhot.DrawCountsPooled(b) }
 
 // TestSieveWorkersBenchmarkDeterminism pins the benchmark's claim that
 // serial and parallel runs decide identically per seed.

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/benchhot"
+)
+
+// benchResult is one benchmark line of BENCH_hotpath.json.
+type benchResult struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// hotpathReport is the schema of BENCH_hotpath.json. Baseline holds the
+// pre-pooling numbers recorded once (PR 2, before the arena/pool work
+// landed) so regeneration via `make bench-json` preserves the reference
+// point the current numbers are compared against.
+type hotpathReport struct {
+	Schema     string                 `json:"schema"`
+	Go         string                 `json:"go"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Workload   string                 `json:"workload"`
+	Baseline   map[string]benchResult `json:"baseline_pre_pooling"`
+	Results    map[string]benchResult `json:"results"`
+}
+
+// prPooledBaseline is BenchmarkCoreTestHotPath measured on the commit
+// immediately before the scratch-arena/pool refactor. These constants are
+// deliberately frozen in source: the JSON file is regenerated on every
+// `make bench-json`, and the before/after comparison only means something
+// if "before" does not move.
+var prPooledBaseline = map[string]benchResult{
+	"BenchmarkCoreTestHotPath": {
+		Iterations:  5,
+		NsPerOp:     954484689,
+		BytesPerOp:  14486099,
+		AllocsPerOp: 1691,
+		Note:        "pre-pooling baseline, recorded at PR 2 (before arena/pool refactor)",
+	},
+}
+
+func writeHotpathJSON(path string) error {
+	run := func(name string, body func(b *testing.B)) benchResult {
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		r := testing.Benchmark(body)
+		return benchResult{
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+	rep := hotpathReport{
+		Schema:     "histbench-hotpath/v1",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   "core.Test on an 8-histogram, n=1e5, k=8, eps=0.8, PracticalConfig, shared Arena + shared alias-table prototype",
+		Baseline:   prPooledBaseline,
+		Results: map[string]benchResult{
+			"BenchmarkCoreTestHotPath": run("BenchmarkCoreTestHotPath",
+				func(b *testing.B) { benchhot.CoreTestHotPath(b, 1) }),
+			"BenchmarkCoreTestHotPathParallel": run("BenchmarkCoreTestHotPathParallel",
+				func(b *testing.B) { benchhot.CoreTestHotPath(b, 0) }),
+			"BenchmarkDrawCountsPooled": run("BenchmarkDrawCountsPooled",
+				benchhot.DrawCountsPooled),
+		},
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}

@@ -7,6 +7,8 @@
 //	histbench -run E1,E4
 //	histbench -run all -quick -seed 7
 //	histbench -run E6 -csv results/
+//	histbench -run E7 -cpuprofile cpu.out -memprofile mem.out
+//	histbench -hotpath-json BENCH_hotpath.json
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/exper"
@@ -22,13 +25,16 @@ import (
 
 func main() {
 	var (
-		runIDs  = flag.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
-		quick   = flag.Bool("quick", false, "smaller sweeps and trial counts")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		verbose = flag.Bool("v", false, "print progress lines")
-		workers = flag.Int("workers", 0, "cap concurrency (trial fan-out and sieve replicates); 0 = all cores")
+		runIDs     = flag.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
+		quick      = flag.Bool("quick", false, "smaller sweeps and trial counts")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		verbose    = flag.Bool("v", false, "print progress lines")
+		workers    = flag.Int("workers", 0, "cap concurrency (trial fan-out and sieve replicates); 0 = all cores")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		hotJSON    = flag.String("hotpath-json", "", "run the hot-path micro-benchmarks and write the results as JSON to this file (skips the experiments)")
 	)
 	flag.Parse()
 
@@ -36,6 +42,44 @@ func main() {
 	// replicate randomness is pre-split before work is scheduled.
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+			}
+		}()
+	}
+
+	if *hotJSON != "" {
+		if err := writeHotpathJSON(*hotJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *list {

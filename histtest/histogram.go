@@ -2,6 +2,7 @@ package histtest
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/gen"
@@ -19,6 +20,11 @@ import (
 // the sketch type produced by the histogram constructions.
 type Histogram struct {
 	pc *dist.PiecewiseConstant
+
+	// samplerOnce guards proto, the lazily built alias-table prototype
+	// shared (immutably) by every Sampler fork of this histogram.
+	samplerOnce sync.Once
+	proto       *oracle.Sampler
 }
 
 // NewHistogram builds a histogram over [0, n) with buckets delimited by
@@ -102,8 +108,16 @@ func (h *Histogram) Entropy() float64 { return dist.Entropy(h.pc) }
 func (h *Histogram) Modality() int { return dist.Modality(h.pc) }
 
 // Sampler returns a deterministic sample source drawing i.i.d. from h.
+// The alias tables are built once per Histogram and shared immutably
+// across all returned sources (each fork draws from its own seeded RNG,
+// so distinct sources remain independent and reproducible — the draw
+// stream per seed is identical to a freshly built sampler's).
 func (h *Histogram) Sampler(seed uint64) Source {
-	s := oracle.NewSampler(h.pc, rng.New(seed))
+	h.samplerOnce.Do(func() {
+		// The prototype's RNG is never drawn from; forks rebind their own.
+		h.proto = oracle.NewSampler(h.pc, rng.New(0))
+	})
+	s := h.proto.Fork(rng.New(seed))
 	return s.Draw
 }
 

@@ -1,0 +1,80 @@
+// Package benchhot holds the hot-path micro-benchmark bodies shared by
+// the repo-root testing.B benchmarks (go test -bench) and the
+// cmd/histbench -hotpath-json mode, which runs the same bodies via
+// testing.Benchmark and records the results in BENCH_hotpath.json — the
+// perf trajectory file tracking allocs/op and ns/op of the steady-state
+// tester across PRs.
+package benchhot
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/intervals"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// EightHistogram returns a well-separated 8-histogram over [0, n) — the
+// production-scale workload of the hot-path benchmarks.
+func EightHistogram(n int) *dist.PiecewiseConstant {
+	masses := []float64{0.25, 0.05, 0.15, 0.02, 0.2, 0.08, 0.15, 0.1}
+	pieces := make([]dist.Piece, len(masses))
+	w := n / len(masses)
+	for j, m := range masses {
+		hi := (j + 1) * w
+		if j == len(masses)-1 {
+			hi = n
+		}
+		pieces[j] = dist.Piece{Iv: intervals.Interval{Lo: j * w, Hi: hi}, Mass: m}
+	}
+	return dist.MustPiecewiseConstant(n, pieces)
+}
+
+// CoreTestHotPath measures the steady-state cost of repeated tester
+// invocations at production scale (n = 10⁵, k = 8): one shared
+// core.Arena, one shared alias-table prototype, fresh RNG streams per
+// iteration. With -benchmem the allocs/op figure is the headline number
+// BENCH_hotpath.json tracks.
+func CoreTestHotPath(b *testing.B, workers int) {
+	const n, k = 100_000, 8
+	const eps = 0.8
+	cfg := core.PracticalConfig()
+	cfg.SieveReps = 0 // derive Θ(log k) replicates as the paper does
+	cfg.Workers = workers
+	cfg.MaxSamples = 1 << 33
+	proto := oracle.NewSampler(EightHistogram(n), rng.New(0))
+	arena := core.NewArena()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := proto.Fork(rng.New(uint64(i)*2 + 1))
+		res, err := arena.Test(s, rng.New(uint64(i)*2+2), k, eps, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Accept {
+			b.Fatalf("iteration %d: 8-histogram rejected at stage %s", i, res.Trace.RejectStage)
+		}
+	}
+}
+
+// DrawCountsPooled measures one pooled Poissonized dense batch draw at
+// n = m = 10⁵ — the unit of work the sieve repeats Θ(log k · log k)
+// times per tester invocation. Steady state is zero-allocation: the
+// count buffer cycles through the oracle pool.
+func DrawCountsPooled(b *testing.B) {
+	const n = 100_000
+	s := oracle.NewSampler(EightHistogram(n), rng.New(1))
+	r := rng.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := oracle.DrawCounts(s, r, n)
+		if c.Total() < 0 {
+			b.Fatal("impossible")
+		}
+		c.Release()
+	}
+}

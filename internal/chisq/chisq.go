@@ -153,7 +153,20 @@ func ZDomain(counts *oracle.Counts, dstar dist.Distribution, g *intervals.Domain
 // partition lookups — come from linear cursors rather than nested loops or
 // binary searches.
 func ZPerInterval(counts *oracle.Counts, dstar dist.Distribution, p *intervals.Partition, g *intervals.Domain, m, tau float64) []float64 {
-	zs := make([]float64, p.Count())
+	return ZPerIntervalInto(nil, counts, dstar, p, g, m, tau)
+}
+
+// ZPerIntervalInto is ZPerInterval with an append-style destination: the
+// K = p.Count() statistics are appended to dst (which may be nil) and the
+// extended slice is returned. Callers on the sieve hot path pass a
+// recycled dst[:0] so the per-round result slice is allocation-free in
+// steady state.
+func ZPerIntervalInto(dst []float64, counts *oracle.Counts, dstar dist.Distribution, p *intervals.Partition, g *intervals.Domain, m, tau float64) []float64 {
+	base := len(dst)
+	for i, K := 0, p.Count(); i < K; i++ {
+		dst = append(dst, 0)
+	}
+	zs := dst[base:]
 	gIvs := g.Intervals()
 	for j, gi := 0, 0; j < len(zs) && gi < len(gIvs); {
 		pIv := p.Interval(j)
@@ -184,7 +197,7 @@ func ZPerInterval(counts *oracle.Counts, dstar dist.Distribution, p *intervals.P
 		}
 		zs[pj] += sampledCorrection(ni, m*pi)
 	})
-	return zs
+	return dst
 }
 
 // ExpectedZ returns E[Z] = m·Σ_{i ∈ A ∩ G} (D(i)−D*(i))²/D*(i) for known
@@ -236,8 +249,10 @@ func Test(o oracle.Oracle, r *rng.RNG, dstar dist.Distribution, g *intervals.Dom
 	tau := params.Threshold(n, eps)
 	counts := oracle.DrawCounts(o, r, m)
 	z := ZDomain(counts, dstar, g, m, tau)
+	drawn := counts.Total()
+	counts.Release()
 	thr := params.AcceptFactor * m * eps * eps
-	return Result{Accept: z <= thr, Z: z, Threshold: thr, M: m, Drawn: counts.Total()}
+	return Result{Accept: z <= thr, Z: z, Threshold: thr, M: m, Drawn: drawn}
 }
 
 // TestFixed is Test without the Poissonization trick: it draws exactly m
@@ -250,8 +265,9 @@ func TestFixed(o oracle.Oracle, r *rng.RNG, dstar dist.Distribution, g *interval
 	m := params.SampleMean(n, eps)
 	tau := params.Threshold(n, eps)
 	drawn := int(math.Round(m))
-	counts := oracle.NewCounts(n, oracle.DrawN(o, drawn))
+	counts := oracle.DrawNCounts(o, drawn)
 	z := ZDomain(counts, dstar, g, m, tau)
+	counts.Release()
 	thr := params.AcceptFactor * m * eps * eps
 	return Result{Accept: z <= thr, Z: z, Threshold: thr, M: m, Drawn: drawn}
 }

@@ -361,3 +361,64 @@ func BenchmarkZDomainHistogramStar(b *testing.B) {
 		_ = ZDomain(counts, dstar, g, 50000, 1e-9)
 	}
 }
+
+func TestZPerIntervalIntoAppendSemantics(t *testing.T) {
+	// ZPerIntervalInto is the destination-passing form: it must append
+	// exactly ZPerInterval's values after any existing prefix, reuse the
+	// destination's capacity, and leave the prefix untouched.
+	r := rng.New(9)
+	n := 60
+	dstar := dist.Uniform(n)
+	d := dist.MustDense(func() []float64 {
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = float64(i+1) * 2 / float64(n*(n+1))
+		}
+		return p
+	}())
+	part := intervals.FromBoundaries(n, []int{10, 25, 40})
+	g := intervals.NewDomain(n, []intervals.Interval{{Lo: 0, Hi: 25}, {Lo: 40, Hi: 60}})
+	const m = 500.0
+	counts := drawCounts(r, d, m)
+	tau := 0.5 / float64(n)
+	want := ZPerInterval(counts, dstar, part, g, m, tau)
+
+	// nil destination behaves like the plain call.
+	got := ZPerIntervalInto(nil, counts, dstar, part, g, m, tau)
+	if len(got) != len(want) {
+		t.Fatalf("nil dst: %d values, want %d", len(got), len(want))
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("nil dst: zs[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+
+	// A non-empty prefix survives and the statistics land after it.
+	dst := []float64{-1, -2}
+	out := ZPerIntervalInto(dst, counts, dstar, part, g, m, tau)
+	if len(out) != 2+len(want) {
+		t.Fatalf("prefixed dst: len = %d, want %d", len(out), 2+len(want))
+	}
+	if out[0] != -1 || out[1] != -2 {
+		t.Fatalf("prefix clobbered: %v", out[:2])
+	}
+	for j := range want {
+		if out[2+j] != want[j] {
+			t.Fatalf("prefixed dst: zs[%d] = %v, want %v", j, out[2+j], want[j])
+		}
+	}
+
+	// A big-enough capacity is reused in place — the hot-path contract the
+	// sieve relies on (med[t] = ZPerIntervalInto(med[t][:0], ...)).
+	buf := make([]float64, 0, len(want)+8)
+	out = ZPerIntervalInto(buf, counts, dstar, part, g, m, tau)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("destination with sufficient capacity was reallocated")
+	}
+	for j := range want {
+		if out[j] != want[j] {
+			t.Fatalf("reused dst: zs[%d] = %v, want %v", j, out[j], want[j])
+		}
+	}
+}

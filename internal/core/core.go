@@ -69,6 +69,81 @@ type Result struct {
 	Domain *intervals.Domain
 }
 
+// Arena holds the reusable scratch buffers of Test: the per-replicate
+// statistic matrix, the median column, the per-interval medians, and the
+// sieve's keep mask and removal ordering. A fresh Arena is an empty set of
+// buffers; buffers grow to the high-water mark of the invocations run
+// through it and are reused across sieve rounds and across Test calls, so
+// repeated invocations at a fixed configuration are allocation-free in
+// steady state.
+//
+// An Arena is NOT safe for concurrent use — one goroutine per Arena (the
+// parallel sieve inside a single Test call is fine: replicate rows are
+// disjoint). Reuse cannot change behavior: every buffer is fully
+// re-initialized per use, and no randomness is consumed by scratch
+// management, so a shared-arena run yields bit-identical Traces to a
+// fresh-allocation run (pinned by TestArenaReuseMatchesFresh).
+type Arena struct {
+	med    [][]float64 // reps × K replicate statistics (rows into medBuf)
+	medBuf []float64
+	zs     []float64   // per-interval medians
+	col    []float64   // reps-length median scratch column
+	keep   []bool      // sieve keep mask
+	order  []int       // removal ordering / heavy-index scratch
+	reprng []rng.RNG   // per-replicate RNG structs, re-split every round
+	jobs   []replicate // per-replicate fork bindings
+}
+
+// replicate pairs a forked oracle with its private RNG stream for one
+// sieve batch.
+type replicate struct {
+	o oracle.Oracle
+	r *rng.RNG
+}
+
+// NewArena returns an empty Arena ready to thread through Test calls.
+func NewArena() *Arena { return &Arena{} }
+
+// grow sizes the scratch for a K-interval partition with reps replicates.
+func (a *Arena) grow(K, reps int) {
+	if cap(a.zs) < K {
+		a.zs = make([]float64, K)
+	}
+	a.zs = a.zs[:K]
+	if cap(a.col) < reps {
+		a.col = make([]float64, reps)
+	}
+	a.col = a.col[:reps]
+	if cap(a.keep) < K {
+		a.keep = make([]bool, K)
+	}
+	a.keep = a.keep[:K]
+	if cap(a.order) < K {
+		a.order = make([]int, 0, K)
+	}
+	if cap(a.medBuf) < reps*K {
+		a.medBuf = make([]float64, reps*K)
+	}
+	if cap(a.med) < reps {
+		a.med = make([][]float64, reps)
+	}
+	a.med = a.med[:reps]
+	if cap(a.reprng) < reps {
+		a.reprng = make([]rng.RNG, reps)
+	}
+	a.reprng = a.reprng[:reps]
+	if cap(a.jobs) < reps {
+		a.jobs = make([]replicate, reps)
+	}
+	a.jobs = a.jobs[:reps]
+	for t := 0; t < reps; t++ {
+		// Zero-length rows with disjoint capacity windows: each replicate
+		// appends its K statistics into its own region, so the parallel
+		// sieve writes never alias.
+		a.med[t] = a.medBuf[t*K : t*K : (t+1)*K]
+	}
+}
+
 // Test runs Algorithm 1: decide whether the distribution behind o is a
 // k-histogram (accept) or ε-far from every k-histogram (reject), each
 // with probability at least 2/3 under the configured constants.
@@ -88,7 +163,17 @@ type Result struct {
 //	14 accept                                   →  the final return
 //
 // Each stage draws fresh samples; Trace records the per-stage accounting.
+//
+// Test allocates its scratch afresh; callers invoking the tester
+// repeatedly should reuse an Arena via Arena.Test, which is equivalent
+// (bit-identical Trace) but allocation-free in steady state.
 func Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result, error) {
+	return NewArena().Test(o, r, k, eps, cfg)
+}
+
+// Test runs Algorithm 1 using a's scratch buffers (see Test for the
+// algorithm contract).
+func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result, error) {
 	n := o.N()
 	if k < 1 {
 		return nil, fmt.Errorf("core: k = %d must be positive", k)
@@ -134,11 +219,23 @@ func Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result,
 	tau := cfg.Chi.TruncFactor * eps / float64(n)
 	reps := cfg.sieveReps(k)
 
-	keep := make([]bool, K)
+	a.grow(K, reps)
+	keep := a.keep
 	for j := range keep {
 		keep[j] = true
 	}
-	domain := func() *intervals.Domain { return intervals.FromPartitionSubset(p, keep) }
+	// The sieved sub-domain is a pure function of the keep mask; rebuilding
+	// it costs O(K) and an allocation, so it is cached until a removal
+	// invalidates it (most sieve rounds remove nothing).
+	domainStale := true
+	var cachedDomain *intervals.Domain
+	domain := func() *intervals.Domain {
+		if domainStale {
+			cachedDomain = intervals.FromPartitionSubset(p, keep)
+			domainStale = false
+		}
+		return cachedDomain
+	}
 
 	// The reps replicates per sieve decision are independent Poissonized
 	// batches (the median-amplification trick of §3.2.1), so they fan out
@@ -155,23 +252,25 @@ func Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result,
 	}
 
 	// computeZs draws fresh Poissonized samples reps times and returns the
-	// per-interval medians.
+	// per-interval medians (in a.zs, overwritten per call). The replicate
+	// statistic rows, the median column, and the Poissonized count buffers
+	// (via the oracle pool) are all recycled round over round.
 	computeZs := func() []float64 {
 		g := domain()
-		med := make([][]float64, reps)
+		med := a.med
 		if forker != nil {
-			type replicate struct {
-				o oracle.Oracle
-				r *rng.RNG
-			}
-			jobs := make([]replicate, reps)
+			jobs := a.jobs
 			for t := range jobs {
-				rt := r.Split()
+				// Re-split into the scratch RNG structs: stream-identical to
+				// a fresh Split, without the per-round allocations.
+				rt := &a.reprng[t]
+				r.SplitInto(rt)
 				jobs[t] = replicate{o: forker.Fork(rt), r: rt}
 			}
 			run := func(t int) {
 				counts := oracle.DrawCounts(jobs[t].o, jobs[t].r, mSieve)
-				med[t] = chisq.ZPerInterval(counts, dhat, p, g, mSieve, tau)
+				med[t] = chisq.ZPerIntervalInto(med[t][:0], counts, dhat, p, g, mSieve, tau)
+				counts.Release()
 			}
 			if w := min(workers, reps); w <= 1 {
 				for t := range jobs {
@@ -205,16 +304,17 @@ func Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result,
 		} else {
 			for t := 0; t < reps; t++ {
 				counts := oracle.DrawCounts(o, r, mSieve)
-				med[t] = chisq.ZPerInterval(counts, dhat, p, g, mSieve, tau)
+				med[t] = chisq.ZPerIntervalInto(med[t][:0], counts, dhat, p, g, mSieve, tau)
+				counts.Release()
 			}
 		}
-		zs := make([]float64, K)
-		col := make([]float64, reps)
+		zs := a.zs
+		col := a.col
 		for j := 0; j < K; j++ {
 			for t := 0; t < reps; t++ {
 				col[t] = med[t][j]
 			}
-			zs[j] = stats.Median(col)
+			zs[j] = stats.MedianInPlace(col)
 		}
 		return zs
 	}
@@ -222,6 +322,7 @@ func Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result,
 	removable := func(j int) bool { return keep[j] && p.Interval(j).Len() > 1 }
 	remove := func(j int) {
 		keep[j] = false
+		domainStale = true
 		tr.RemovedMass += dhat.IntervalMass(p.Interval(j))
 	}
 	reject := func(stage, reason string) (*Result, error) {
@@ -239,7 +340,7 @@ func Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result,
 	zs := computeZs()
 	heavyThr := cfg.SieveHeavyFactor * mSieve * alpha * alpha
 	heavyTotal := 0
-	var heavyIdx []int
+	heavyIdx := a.order[:0] // scratch; consumed before the 3b rounds reuse it
 	for j := 0; j < K; j++ {
 		if !keep[j] || zs[j] <= heavyThr {
 			continue
@@ -281,7 +382,7 @@ func Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result,
 		}
 		// Remove the largest Z_j (non-singletons only) until the survivors
 		// sum below the residual target.
-		order := make([]int, 0, K)
+		order := a.order[:0]
 		for j := 0; j < K; j++ {
 			if removable(j) {
 				order = append(order, j)

@@ -12,7 +12,6 @@ import (
 	"repro/internal/histdp"
 	"repro/internal/intervals"
 	"repro/internal/lowerbound"
-	"repro/internal/oracle"
 	"repro/internal/rng"
 )
 
@@ -400,7 +399,7 @@ func e5() Experiment {
 					accepts := 0
 					var samples int64
 					for i := 0; i < redTrials; i++ {
-						inner := oracle.NewSampler(side.d, r.Split())
+						inner := samplerFor(side.d, r.Split())
 						emb, err := rd.Embed(inner, r)
 						if err != nil {
 							return nil, err

@@ -96,7 +96,7 @@ func e7() Experiment {
 				var elapsed time.Duration
 				var samples int64
 				for i := 0; i < trials; i++ {
-					s := oracle.NewSampler(d, r.Split())
+					s := samplerFor(d, r.Split())
 					start := time.Now()
 					res, err := core.Test(s, r, k, eps, cfg)
 					if err != nil {
@@ -186,7 +186,7 @@ func e9() Experiment {
 			trialsPer := rc.pick(10, 30)
 			d := gen.KHistogram(r, n, k)
 			// Fixed partition from one ApproxPart run.
-			s := oracle.NewSampler(d, r.Split())
+			s := samplerFor(d, r.Split())
 			part, err := learn.ApproxPart(s, r, 40, 8)
 			if err != nil {
 				return nil, err
@@ -202,7 +202,7 @@ func e9() Experiment {
 				m := mult * ell
 				sum := 0.0
 				for i := 0; i < trialsPer; i++ {
-					samp := oracle.NewSampler(d, r.Split())
+					samp := samplerFor(d, r.Split())
 					counts := oracle.NewCounts(n, oracle.DrawN(samp, m))
 					est := learn.LaplaceEstimate(counts, p)
 					sum += dist.ChiSq(flat, est)
@@ -243,7 +243,7 @@ func e10() Experiment {
 			}
 			for _, trueK := range ks {
 				d := gen.KHistogram(r, n, trueK)
-				sampler := oracle.NewSampler(d, r.Split())
+				sampler := samplerFor(d, r.Split())
 				res, err := histtest.SmallestK(sampler.Draw, n, eps, histtest.SelectOptions{
 					Options: histtest.Options{Seed: r.Uint64()},
 					Reps:    3,
@@ -253,7 +253,7 @@ func e10() Experiment {
 					return nil, err
 				}
 				// Build a V-optimal sketch at the selected k from fresh data.
-				fresh := oracle.NewSampler(d, r.Split())
+				fresh := samplerFor(d, r.Split())
 				counts := oracle.NewCounts(n, oracle.DrawN(fresh, 200000))
 				kSel := res.K
 				if kSel > 64 {

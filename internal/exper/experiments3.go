@@ -10,7 +10,6 @@ import (
 	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/intervals"
-	"repro/internal/oracle"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -36,7 +35,7 @@ func e11() Experiment {
 				zs := make([]float64, reps)
 				accepts := 0
 				for i := 0; i < reps; i++ {
-					s := oracle.NewSampler(d, r.Split())
+					s := samplerFor(d, r.Split())
 					var res chisq.Result
 					if fixed {
 						res = chisq.TestFixed(s, r, uniform, full, eps, params)

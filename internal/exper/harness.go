@@ -10,7 +10,6 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/dist"
-	"repro/internal/oracle"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -79,7 +78,7 @@ func AcceptRate(tester baselines.Tester, inst Instance, k int, eps float64, tria
 				if i >= trials {
 					return
 				}
-				s := oracle.NewSampler(jobs[i].d, jobs[i].sampleRNG)
+				s := samplerFor(jobs[i].d, jobs[i].sampleRNG)
 				dec, err := tester.Run(s, jobs[i].testerRNG, k, eps)
 				if err != nil {
 					errs[i] = err

@@ -67,10 +67,11 @@ func ProjectTV(d *dist.PiecewiseConstant, k int, g *intervals.Domain) (*Projecti
 	}
 	vals := make([]float64, B)    // per-element probability of each piece
 	weights := make([]float64, B) // number of piece elements inside g
+	gIvs := g.Intervals()         // hoisted: Intervals() copies per call
 	for j, pc := range pieces {
 		vals[j] = pc.Mass / float64(pc.Iv.Len())
 		w := 0
-		for _, giv := range g.Intervals() {
+		for _, giv := range gIvs {
 			w += pc.Iv.Intersect(giv).Len()
 		}
 		weights[j] = float64(w)
@@ -87,10 +88,12 @@ func ProjectTV(d *dist.PiecewiseConstant, k int, g *intervals.Domain) (*Projecti
 	const inf = math.MaxFloat64
 	prev := make([]float64, B)
 	cur := make([]float64, B)
-	// choice[j][b]: start piece of the last segment in the optimum.
+	// choice[j][b]: start piece of the last segment in the optimum. Rows
+	// share one flat k·B backing (same rationale as segmentCosts).
 	choice := make([][]int32, k)
+	choiceFlat := make([]int32, k*B)
 	for j := range choice {
-		choice[j] = make([]int32, B)
+		choice[j] = choiceFlat[j*B : (j+1)*B : (j+1)*B]
 	}
 	for b := 0; b < B; b++ {
 		prev[b] = cost[0][b]
@@ -198,10 +201,11 @@ func DistanceCurve(d *dist.PiecewiseConstant, kMax int, g *intervals.Domain) ([]
 	}
 	vals := make([]float64, B)
 	weights := make([]float64, B)
+	gIvs := g.Intervals() // hoisted: Intervals() copies per call
 	for j, pc := range pieces {
 		vals[j] = pc.Mass / float64(pc.Iv.Len())
 		w := 0
-		for _, giv := range g.Intervals() {
+		for _, giv := range gIvs {
 			w += pc.Iv.Intersect(giv).Len()
 		}
 		weights[j] = float64(w)
@@ -240,7 +244,10 @@ func DistanceCurve(d *dist.PiecewiseConstant, kMax int, g *intervals.Domain) ([]
 
 // segmentCosts returns cost[a][b] = min over v of Σ_{j=a..b} w_j·|vals_j−v|
 // for all 0 <= a <= b < B, in O(B² log B) time via Fenwick trees over the
-// global value ranks.
+// global value ranks. The rows share one flat B² backing array: the table
+// is rebuilt from scratch on every call, and a single allocation keeps the
+// DP off the tester's per-invocation allocation budget (B is a few hundred
+// on the hot path, so row-wise allocation used to dominate ProjectTV).
 func segmentCosts(vals, weights []float64) [][]float64 {
 	B := len(vals)
 	ranks := rankOf(vals)
@@ -248,12 +255,13 @@ func segmentCosts(vals, weights []float64) [][]float64 {
 	sort.Float64s(sorted)
 
 	cost := make([][]float64, B)
+	flat := make([]float64, B*B)
 	fw := newFenwick(B)  // total weight per rank
 	fwv := newFenwick(B) // weight·value per rank
 	for a := 0; a < B; a++ {
 		fw.reset()
 		fwv.reset()
-		cost[a] = make([]float64, B)
+		cost[a] = flat[a*B : (a+1)*B : (a+1)*B]
 		totalW, totalWV := 0.0, 0.0
 		for b := a; b < B; b++ {
 			if weights[b] > 0 {

@@ -262,7 +262,7 @@ func FromPartitionSubset(p *Partition, keep []bool) *Domain {
 	if len(keep) != p.Count() {
 		panic("intervals: keep mask length mismatch")
 	}
-	ivs := make([]Interval, 0)
+	ivs := make([]Interval, 0, p.Count())
 	for j, k := range keep {
 		if k {
 			ivs = append(ivs, p.Interval(j))

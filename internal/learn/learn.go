@@ -56,15 +56,21 @@ func ApproxPart(o oracle.Oracle, r *rng.RNG, b, c float64) (*PartResult, error) 
 		return nil, fmt.Errorf("learn: ApproxPart needs b >= 1, got %v", b)
 	}
 	m := ApproxPartSamples(b, c)
-	counts := oracle.NewCounts(n, oracle.DrawN(o, m))
+	// Pooled tally: identical draw sequence to NewCounts(n, DrawN(o, m))
+	// without materializing the m-sample slice.
+	counts := oracle.DrawNCounts(o, m)
+	defer counts.Release()
 
 	// Thresholds on empirical mass: an element is heavy at 3/(4b); an
 	// accumulating chunk closes at 3/(4b).
 	heavyThr := 3.0 / (4 * b) * float64(m)
 	chunkThr := 3.0 / (4 * b) * float64(m)
 
-	var ivs []intervals.Interval
-	var heavy []bool
+	// K <= ~7b/3 + #heavy + 2 (see the doc comment); pre-size so the chunk
+	// walk appends without regrowing.
+	estK := int(7*b/3) + 4
+	ivs := make([]intervals.Interval, 0, estK)
+	heavy := make([]bool, 0, estK)
 	start := 0
 	acc := 0.0
 	closeChunk := func(end int) {
@@ -137,8 +143,10 @@ func LearnSamples(ell int, eps, c float64) int {
 // every non-breakpoint interval of p. c scales the sample budget.
 func Learn(o oracle.Oracle, r *rng.RNG, p *intervals.Partition, eps, c float64) (*dist.PiecewiseConstant, int) {
 	m := LearnSamples(p.Count(), eps, c)
-	counts := oracle.NewCounts(o.N(), oracle.DrawN(o, m))
-	return LaplaceEstimate(counts, p), m
+	counts := oracle.DrawNCounts(o, m)
+	est := LaplaceEstimate(counts, p)
+	counts.Release()
+	return est, m
 }
 
 // EmpiricalFlattening returns the plain empirical flattening over p:

@@ -1,0 +1,53 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkDenseSparseCrossover pins the empirical crossover behind
+// useDense: at a fixed domain size n it tallies m samples and walks the
+// result with ForEach — the exact access pattern of the sieve and the
+// Laplace learner — once forced dense and once forced sparse, across
+// sample/domain ratios m = n/64 .. n. Run with
+//
+//	go test -run=NONE -bench=DenseSparseCrossover -benchmem ./internal/oracle/
+//
+// to re-derive the threshold documented at useDense.
+func BenchmarkDenseSparseCrossover(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		// Uniform draws give the sparse map its best case (maximal
+		// distinct-element churn happens near m ≈ n, its worst case is
+		// covered by the ratio sweep).
+		r := rng.New(7)
+		all := make([]int, n)
+		for i := range all {
+			all[i] = r.Intn(n)
+		}
+		for _, div := range []int{64, 32, 16, 8, 4, 1} {
+			m := n / div
+			samples := all[:m]
+			for _, mode := range []struct {
+				name string
+				mk   func(n int, samples []int) *Counts
+			}{
+				{"dense", NewDenseCounts},
+				{"sparse", NewSparseCounts},
+			} {
+				b.Run(fmt.Sprintf("n=%d/m=n÷%d/%s", n, div, mode.name), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						c := mode.mk(n, samples)
+						sum := 0
+						c.ForEach(func(_, ni int) { sum += ni })
+						if sum != m {
+							b.Fatalf("tally mismatch: %d != %d", sum, m)
+						}
+					}
+				})
+			}
+		}
+	}
+}

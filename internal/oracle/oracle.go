@@ -71,12 +71,15 @@ func DrawPoisson(o Oracle, r *rng.RNG, mean float64) []int {
 // identical counts, so replay-backed oracles see an unchanged stream. The
 // mean is used to pick the counts representation up front: dense for
 // sample sizes comparable to the domain, sparse otherwise.
+//
+// The Counts comes from the buffer pool; the caller owns it and should
+// Release it once the tally has been consumed (see Release).
 func DrawCounts(o Oracle, r *rng.RNG, mean float64) *Counts {
 	if s, ok := o.(*Sampler); ok {
 		return s.DrawPoissonCounts(r, mean)
 	}
 	m := r.Poisson(mean)
-	c := newCountsSized(o.N(), m)
+	c := acquireCountsSized(o.N(), m)
 	for i := 0; i < m; i++ {
 		c.add(o.Draw())
 	}
@@ -191,10 +194,11 @@ func (s *Sampler) draw() int {
 // DrawPoissonCounts is DrawCounts specialized to the alias-table sampler:
 // the Poisson variate comes from r, the draws from the sampler's own
 // stream, and the tally loop runs devirtualized. The randomness consumed
-// is identical to the generic DrawCounts path.
+// is identical to the generic DrawCounts path. The Counts comes from the
+// buffer pool; Release it once consumed.
 func (s *Sampler) DrawPoissonCounts(r *rng.RNG, mean float64) *Counts {
 	m := r.Poisson(mean)
-	c := newCountsSized(s.n, m)
+	c := acquireCountsSized(s.n, m)
 	s.count += int64(m)
 	if c.dense != nil {
 		for i := 0; i < m; i++ {
@@ -417,13 +421,22 @@ type Counts struct {
 	m        map[int]int
 	distinct int // dense-mode distinct tally (sparse mode uses len(m))
 	total    int
+	released bool // set by Release; guards the double-release panic
 }
 
 // useDense reports whether a tally of m samples over [0, n) should use the
-// dense backing: the domain must be modest, and the O(n) iteration cost of
-// the dense walk must be within a constant factor of the O(m) tally work.
+// dense backing: the domain must be modest, and the O(n) allocate/clear/walk
+// cost of the dense path must not swamp the O(m) tally work.
+//
+// The m >= n/64 crossover is empirical — see BenchmarkDenseSparseCrossover
+// (densebench_test.go). At n ∈ {2¹⁶, 2²⁰} the dense path wins at every
+// ratio down to m = n/64 (1.5× there, 8–12× at m = n), because the sparse
+// map pays ~80 ns per insert plus a sort in ForEach, while the dense side
+// pays ~0.7 ns per domain element to clear and walk; extrapolating those
+// slopes puts the true break-even near m ≈ n/100. n/64 is the thinnest
+// measured point, kept with margin for cache-hostile domains.
 func useDense(n, m int) bool {
-	return n <= denseLimit && m >= n/8
+	return n <= denseLimit && m >= n/64
 }
 
 // newCountsSized returns an empty Counts with the backing chosen for m

@@ -1,0 +1,98 @@
+package oracle
+
+import "sync"
+
+// Counts buffer pooling.
+//
+// The χ² counting loop is the hot path of the whole system: every sieve
+// replicate and every final test materializes a per-element count vector,
+// and at production scale the dense backing is a []int32 of length n
+// (400 KB at n = 10⁵). Re-allocating it per batch dominates wall-clock
+// long before the Theorem 3.1 work bound does, so the batch drawing
+// entry points (DrawCounts, DrawPoissonCounts, DrawNCounts) acquire
+// their Counts from a sync.Pool and callers hand them back with Release.
+//
+// Ownership contract:
+//
+//   - The caller of a Draw*Counts function owns the returned Counts.
+//   - Calling Release transfers ownership to the pool; the Counts must
+//     not be used afterwards. Release-before-last-use is an aliasing bug
+//     (a concurrent acquirer may be tallying into the same backing), so
+//     double-Release PANICS rather than being ignored — it is always a
+//     lifecycle error, and silently pooling the same buffer twice would
+//     hand two future acquirers aliased memory.
+//   - Never calling Release is always safe: the buffer is simply
+//     garbage-collected and the pool never learns about it. Code that
+//     retains a Counts indefinitely (or returns it to a caller with
+//     unknown lifetime) should just not release it.
+//
+// Reuse cannot change observable behavior: dense backings are zeroed at
+// acquire time, sparse maps are cleared (clear() keeps the allocated
+// buckets), and the representation choice depends only on (n, m) —
+// never on what the recycled buffer used to hold.
+
+// densePool recycles Counts with a dense []int32 backing; sparsePool
+// recycles map-backed Counts. Two pools so an acquire never has to
+// discard a mismatched backing.
+var (
+	densePool  = sync.Pool{New: func() any { return new(Counts) }}
+	sparsePool = sync.Pool{New: func() any { return new(Counts) }}
+)
+
+// acquireCountsSized returns an empty pooled Counts with the backing
+// chosen for m samples over [0, n) — the pooled counterpart of
+// newCountsSized, with identical representation choice.
+func acquireCountsSized(n, m int) *Counts {
+	if useDense(n, m) {
+		c := densePool.Get().(*Counts)
+		if cap(c.dense) >= n {
+			c.dense = c.dense[:n]
+			clear(c.dense)
+		} else {
+			c.dense = make([]int32, n)
+		}
+		c.n, c.m, c.distinct, c.total, c.released = n, nil, 0, 0, false
+		return c
+	}
+	c := sparsePool.Get().(*Counts)
+	if c.m == nil {
+		c.m = make(map[int]int, m)
+	} else {
+		clear(c.m)
+	}
+	c.n, c.dense, c.distinct, c.total, c.released = n, nil, 0, 0, false
+	return c
+}
+
+// Release returns the Counts' backing to the buffer pool for reuse by a
+// later batch draw. The Counts must not be used after Release; releasing
+// twice panics (see the ownership contract above). Releasing a Counts
+// built by NewCounts/NewDenseCounts/NewSparseCounts is allowed — their
+// backings feed the same pool.
+func (c *Counts) Release() {
+	if c.released {
+		panic("oracle: Counts released twice")
+	}
+	c.released = true
+	if c.dense != nil {
+		densePool.Put(c)
+	} else if c.m != nil {
+		sparsePool.Put(c)
+	}
+}
+
+// DrawNCounts draws exactly m samples from o and tallies them into a
+// pooled Counts, never materializing the intermediate sample slice. It
+// consumes exactly the same randomness as
+//
+//	NewCounts(o.N(), DrawN(o, m))
+//
+// (m sequential draws from o) and yields identical counts. The caller
+// owns the result; Release it when the tally has been consumed.
+func DrawNCounts(o Oracle, m int) *Counts {
+	c := acquireCountsSized(o.N(), m)
+	for i := 0; i < m; i++ {
+		c.add(o.Draw())
+	}
+	return c
+}

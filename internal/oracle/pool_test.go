@@ -1,0 +1,125 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// poolTestSampler returns a sampler over a mildly skewed dense
+// distribution of the given domain size.
+func poolTestSampler(n int, seed uint64) *Sampler {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(i%7 + 1)
+	}
+	return NewSampler(dist.MustDense(w), rng.New(seed))
+}
+
+func TestCountsDoubleReleasePanics(t *testing.T) {
+	// The ownership contract pins double-Release to a panic (not a silent
+	// no-op): putting the same buffer in the pool twice would hand two
+	// future acquirers aliased memory, so the second Release must fail
+	// loudly at the bug site.
+	cases := []struct {
+		name string
+		n, m int
+	}{
+		{"dense", 1 << 10, 1 << 10}, // m >= n/64 → dense backing
+		{"sparse", 1 << 12, 16},     // m < n/64 → sparse backing
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DrawNCounts(poolTestSampler(tc.n, 1), tc.m)
+			if (tc.name == "dense") != (c.dense != nil) {
+				t.Fatalf("backing mismatch: dense=%v for case %s", c.dense != nil, tc.name)
+			}
+			c.Release()
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("second Release did not panic")
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "released twice") {
+					t.Fatalf("unexpected panic value: %v", r)
+				}
+			}()
+			c.Release()
+		})
+	}
+}
+
+func TestPooledCountsReuseIsClean(t *testing.T) {
+	// A buffer recycled through the pool must behave exactly like a fresh
+	// one: no counts may leak from the previous tenant. Cycle a dense and
+	// a sparse buffer several times and compare every tally against an
+	// unpooled NewCounts of the same draw stream.
+	for _, tc := range []struct {
+		name string
+		n, m int
+	}{
+		{"dense", 512, 200},
+		{"sparse", 1 << 14, 200}, // 200 < n/64 → sparse backing
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.m
+			for round := 0; round < 5; round++ {
+				seed := uint64(10 + round)
+				pooled := DrawNCounts(poolTestSampler(tc.n, seed), m)
+				fresh := NewCounts(tc.n, DrawN(poolTestSampler(tc.n, seed), m))
+				if pooled.Total() != fresh.Total() || pooled.Distinct() != fresh.Distinct() {
+					t.Fatalf("round %d: totals (%d,%d) != fresh (%d,%d)",
+						round, pooled.Total(), pooled.Distinct(), fresh.Total(), fresh.Distinct())
+				}
+				type kv struct{ i, n int }
+				var a, b []kv
+				pooled.ForEach(func(i, n int) { a = append(a, kv{i, n}) })
+				fresh.ForEach(func(i, n int) { b = append(b, kv{i, n}) })
+				if len(a) != len(b) {
+					t.Fatalf("round %d: %d entries vs %d", round, len(a), len(b))
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("round %d entry %d: %v != %v", round, j, a[j], b[j])
+					}
+				}
+				pooled.Release()
+			}
+		})
+	}
+}
+
+func TestDrawNCountsMatchesUnpooledDraws(t *testing.T) {
+	// DrawNCounts must consume the oracle's draw stream exactly like the
+	// slice-materializing path, so swapping one for the other anywhere in
+	// the pipeline cannot shift downstream randomness.
+	const n, m = 4096, 1000
+	a := poolTestSampler(n, 42)
+	b := poolTestSampler(n, 42)
+	pooled := DrawNCounts(a, m)
+	defer pooled.Release()
+	_ = NewCounts(n, DrawN(b, m))
+	if a.Samples() != b.Samples() {
+		t.Fatalf("draw accounting differs: %d vs %d", a.Samples(), b.Samples())
+	}
+	// After both consumed m draws, the next draw must agree — the streams
+	// are in lockstep.
+	if x, y := a.Draw(), b.Draw(); x != y {
+		t.Fatalf("streams diverged after tally: %d vs %d", x, y)
+	}
+}
+
+func TestNeverReleasedCountsAreSafe(t *testing.T) {
+	// Dropping a pooled Counts without Release must be legal (it is simply
+	// collected); the pool never hands out a buffer that is still
+	// reachable by a previous owner.
+	c1 := DrawNCounts(poolTestSampler(512, 7), 512)
+	c2 := DrawNCounts(poolTestSampler(512, 8), 512) // c1 not released
+	if c1 == c2 {
+		t.Fatal("pool handed out a live buffer twice")
+	}
+	c1.Release()
+	c2.Release()
+}

@@ -45,7 +45,18 @@ func (r *RNG) Seed(seed uint64) {
 // Split derives an independent child generator from r's stream. The child's
 // sequence is unrelated to r's subsequent output.
 func (r *RNG) Split() *RNG {
-	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+	child := &RNG{}
+	r.SplitInto(child)
+	return child
+}
+
+// SplitInto is Split without the allocation: it re-seeds child in place
+// with exactly the randomness Split would have consumed from r, so the two
+// are interchangeable stream-for-stream. Hot loops that re-derive child
+// generators every round (the sieve's replicate fan-out) keep their RNG
+// structs in scratch and re-split into them.
+func (r *RNG) SplitInto(child *RNG) {
+	child.Seed(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -17,12 +17,23 @@ func Median(xs []float64) float64 {
 		panic("stats: median of empty slice")
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	mid := len(sorted) / 2
-	if len(sorted)%2 == 1 {
-		return sorted[mid]
+	return MedianInPlace(sorted)
+}
+
+// MedianInPlace returns the median of xs, sorting xs as a side effect. It
+// is the allocation-free variant of Median for callers whose input is a
+// scratch buffer (the sieve computes K medians per round — copying each
+// replicate column was the single largest allocation site of core.Test).
+func MedianInPlace(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: median of empty slice")
 	}
-	return (sorted[mid-1] + sorted[mid]) / 2
+	sort.Float64s(xs)
+	mid := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return xs[mid]
+	}
+	return (xs[mid-1] + xs[mid]) / 2
 }
 
 // MedianOf runs trial() reps times and returns the median result.
