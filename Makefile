@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-json experiments experiments-quick examples fuzz race test-race vet clean
+.PHONY: build test test-short bench bench-json experiments experiments-quick examples fuzz fuzz-smoke race test-race vet clean
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzFromBoundaries -fuzztime=15s ./internal/intervals/
 	$(GO) test -fuzz=FuzzDomainAlgebra -fuzztime=15s ./internal/intervals/
 	$(GO) test -fuzz=FuzzProjectTV -fuzztime=15s ./internal/histdp/
+	$(GO) test -fuzz=FuzzSerializeRoundTrip -fuzztime=15s ./histtest/
+	$(GO) test -fuzz=FuzzDenseSparseEquivalence -fuzztime=15s ./internal/oracle/
+
+# Quick fuzz smoke for CI: the two differential targets that guard the
+# wire format and the dense/sparse counting crossover.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzSerializeRoundTrip -fuzztime=10s ./histtest/
+	$(GO) test -fuzz=FuzzDenseSparseEquivalence -fuzztime=10s ./internal/oracle/
 
 clean:
 	$(GO) clean ./...

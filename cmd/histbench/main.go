@@ -8,22 +8,38 @@
 //	histbench -run all -quick -seed 7
 //	histbench -run E6 -csv results/
 //	histbench -run E7 -cpuprofile cpu.out -memprofile mem.out
+//	histbench -run E6 -trace-json trace.jsonl
 //	histbench -hotpath-json BENCH_hotpath.json
+//
+// ^C (or SIGTERM) cancels the run: in-flight tester invocations abort at
+// their next context check, pooled buffers are released, and any partial
+// trace file is flushed before exit.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/exper"
+	"repro/internal/obs"
 )
 
 func main() {
+	// The experiment body runs in a helper so its defers — profile
+	// writers, the trace flush — run even on failure exits.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		runIDs     = flag.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
 		quick      = flag.Bool("quick", false, "smaller sweeps and trial counts")
@@ -35,6 +51,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		hotJSON    = flag.String("hotpath-json", "", "run the hot-path micro-benchmarks and write the results as JSON to this file (skips the experiments)")
+		traceJSON  = flag.String("trace-json", "", "stream per-run stage events as JSON lines to this file (also feeds the expvar counters)")
 	)
 	flag.Parse()
 
@@ -48,11 +65,11 @@ func main() {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -77,16 +94,16 @@ func main() {
 	if *hotJSON != "" {
 		if err := writeHotpathJSON(*hotJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *list {
 		for _, e := range exper.Registry() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
-		return
+		return 0
 	}
 
 	var selected []exper.Experiment
@@ -98,49 +115,77 @@ func main() {
 			e, ok := exper.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "histbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	rc := exper.RunConfig{Seed: *seed, Quick: *quick}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rc := exper.RunConfig{Seed: *seed, Quick: *quick, Ctx: ctx}
 	if *verbose {
 		rc.Progress = os.Stderr
 	}
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+			return 1
+		}
+		bw := bufio.NewWriter(f)
+		jl := obs.NewJSONLines(bw)
+		defer func() {
+			// Flush whatever was traced, even when an experiment failed or
+			// the run was interrupted — a partial trace is still evidence.
+			if err := jl.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "histbench: trace: %v\n", err)
+			}
+			if err := bw.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "histbench: trace: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "histbench: trace: %v\n", err)
+			}
+		}()
+		rc.Observer = obs.Multi(jl, obs.Expvar())
+	}
+
 	for _, e := range selected {
 		fmt.Printf("=== %s: %s ===\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
 		tables, err := e.Run(rc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "histbench: %s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		for i, tb := range tables {
 			if err := tb.Render(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "histbench: render: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			if *csvDir != "" {
 				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
-					os.Exit(1)
+					return 1
 				}
 				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i+1)
 				f, err := os.Create(filepath.Join(*csvDir, name))
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
-					os.Exit(1)
+					return 1
 				}
 				if err := tb.RenderCSV(f); err != nil {
 					f.Close()
 					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
-					os.Exit(1)
+					return 1
 				}
 				if err := f.Close(); err != nil {
 					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
-					os.Exit(1)
+					return 1
 				}
 			}
 		}
 	}
+	return 0
 }

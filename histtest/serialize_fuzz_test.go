@@ -1,0 +1,87 @@
+package histtest
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// sameHistogram reports whether two histograms are the same distribution
+// up to the float drift UnmarshalJSON's renormalization may introduce
+// (NewHistogram divides by the decoded total, which is 1 only up to
+// rounding).
+func sameHistogram(t *testing.T, a, b *Histogram, context string) {
+	t.Helper()
+	if a.N() != b.N() || a.Buckets() != b.Buckets() {
+		t.Fatalf("%s: shape changed: %d/%d -> %d/%d", context, a.N(), a.Buckets(), b.N(), b.Buckets())
+	}
+	ap, bp := a.pc.Pieces(), b.pc.Pieces()
+	for i := range ap {
+		if ap[i].Iv != bp[i].Iv {
+			t.Fatalf("%s: bucket %d interval %v -> %v", context, i, ap[i].Iv, bp[i].Iv)
+		}
+		if diff := math.Abs(ap[i].Mass - bp[i].Mass); diff > 1e-12 {
+			t.Fatalf("%s: bucket %d mass %v -> %v (drift %v)", context, i, ap[i].Mass, bp[i].Mass, diff)
+		}
+	}
+}
+
+// FuzzSerializeRoundTrip fuzzes the JSON wire format from both ends:
+// every constructible histogram must survive marshal → unmarshal with
+// identical bucket structure and masses (up to renormalization rounding
+// of at most 1e-12), and arbitrary attacker-controlled bytes must either
+// be rejected by UnmarshalJSON or decode to a histogram that itself
+// round-trips stably — no accept-then-corrupt states.
+func FuzzSerializeRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint16(1), uint64(0), []byte(`{"n":4,"cuts":[2],"masses":[0.5,0.5]}`))
+	f.Add(uint16(64), uint16(4), uint64(7), []byte(`{"n":0}`))
+	f.Add(uint16(1000), uint16(32), uint64(9), []byte(`{"n":3,"cuts":[9],"masses":[1,1]}`))
+	f.Add(uint16(17), uint16(17), uint64(3), []byte(`{"n":2,"cuts":[],"masses":[-1]}`))
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint16, seed uint64, raw []byte) {
+		// Forward direction: generated histograms round-trip.
+		n := int(nRaw)%4096 + 1
+		k := int(kRaw)%n + 1
+		h, err := Random(n, k, seed)
+		if err != nil {
+			t.Fatalf("Random(%d,%d,%d): %v", n, k, seed, err)
+		}
+		enc, err := json.Marshal(h)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Histogram
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("unmarshal of own output %s: %v", enc, err)
+		}
+		sameHistogram(t, h, &back, "generated")
+
+		// Reverse direction: arbitrary bytes either fail validation or
+		// yield a valid histogram whose own encoding round-trips.
+		var wild Histogram
+		if err := json.Unmarshal(raw, &wild); err != nil {
+			return // rejected — fine
+		}
+		if wild.N() < 1 || wild.Buckets() < 1 {
+			t.Fatalf("accepted invalid payload %q: n=%d buckets=%d", raw, wild.N(), wild.Buckets())
+		}
+		total := 0.0
+		for _, p := range wild.pc.Pieces() {
+			if p.Mass < 0 || math.IsNaN(p.Mass) || math.IsInf(p.Mass, 0) {
+				t.Fatalf("accepted payload %q with mass %v", raw, p.Mass)
+			}
+			total += p.Mass
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("accepted payload %q decodes to total mass %v", raw, total)
+		}
+		mid, err := json.Marshal(&wild)
+		if err != nil {
+			t.Fatalf("accepted payload %q but cannot re-marshal: %v", raw, err)
+		}
+		var again Histogram
+		if err := json.Unmarshal(mid, &again); err != nil {
+			t.Fatalf("own output %s of accepted payload rejected: %v", mid, err)
+		}
+		sameHistogram(t, &wild, &again, "wild")
+	})
+}

@@ -85,7 +85,7 @@ func TestSupportSizeReductionEndToEnd(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			dec, err := tester.Run(emb, r, rd.K(), rd.Eps())
+			dec, err := tester.Run(nil, emb, r, rd.K(), rd.Eps())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -26,6 +26,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/chisq"
@@ -48,8 +49,11 @@ type Decision struct {
 type Tester interface {
 	// Name identifies the algorithm in experiment tables.
 	Name() string
-	// Run decides H_k membership vs ε-farness from samples of o.
-	Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error)
+	// Run decides H_k membership vs ε-farness from samples of o. A
+	// cancelled ctx aborts the run with ctx.Err() at batch-draw
+	// granularity (testers never retain pooled buffers past an abort);
+	// nil means context.Background().
+	Run(ctx context.Context, o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error)
 	// WithScale returns a copy whose sample budgets are multiplied by s.
 	WithScale(s float64) Tester
 }
@@ -59,6 +63,15 @@ func run(o oracle.Oracle, body func() (bool, error)) (Decision, error) {
 	start := o.Samples()
 	accept, err := body()
 	return Decision{Accept: accept, Samples: o.Samples() - start}, err
+}
+
+// ctxErr is ctx.Err() tolerating the nil context the Tester contract
+// allows.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Canonne adapts the paper's tester (internal/core) to the Tester
@@ -74,9 +87,9 @@ func NewCanonne() *Canonne { return &Canonne{Config: core.PracticalConfig()} }
 func (c *Canonne) Name() string { return "canonne16" }
 
 // Run implements Tester.
-func (c *Canonne) Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error) {
+func (c *Canonne) Run(ctx context.Context, o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error) {
 	return run(o, func() (bool, error) {
-		res, err := core.Test(o, r, k, eps, c.Config)
+		res, err := core.TestContext(ctx, o, r, k, eps, c.Config)
 		if err != nil {
 			return false, err
 		}
@@ -108,8 +121,11 @@ func NewNaive() *Naive { return &Naive{C: 4, MaxDP: 2048} }
 func (t *Naive) Name() string { return "naive-learn" }
 
 // Run implements Tester.
-func (t *Naive) Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error) {
+func (t *Naive) Run(ctx context.Context, o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error) {
 	return run(o, func() (bool, error) {
+		if err := ctxErr(ctx); err != nil {
+			return false, err
+		}
 		n := o.N()
 		m := int(math.Ceil(t.C * float64(n) / (eps * eps)))
 		counts := oracle.NewCounts(n, oracle.DrawN(o, m))
@@ -182,7 +198,10 @@ func NewCDGR16() *CDGR16 {
 func (t *CDGR16) Name() string { return "cdgr16-nosieve" }
 
 // Run implements Tester.
-func (t *CDGR16) Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error) {
+func (t *CDGR16) Run(ctx context.Context, o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return run(o, func() (bool, error) {
 		n := o.N()
 		if k >= n {
@@ -192,11 +211,14 @@ func (t *CDGR16) Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision,
 		if b < 1 {
 			b = 1
 		}
-		part, err := learn.ApproxPart(o, r, b, t.PartSampleC)
+		part, err := learn.ApproxPartContext(ctx, o, r, b, t.PartSampleC)
 		if err != nil {
 			return false, err
 		}
-		dhat, _ := learn.Learn(o, r, part.Partition, eps/t.LearnEpsDivisor, t.LearnSampleC)
+		dhat, _, err := learn.LearnContext(ctx, o, r, part.Partition, eps/t.LearnEpsDivisor, t.LearnSampleC)
+		if err != nil {
+			return false, err
+		}
 		full := intervals.FullDomain(n)
 		proj, err := histdp.ProjectTV(dhat, k, full)
 		if err != nil {
@@ -204,6 +226,9 @@ func (t *CDGR16) Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision,
 		}
 		if proj.Relaxed > eps/t.CheckTolDivisor {
 			return false, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return false, err
 		}
 		res := chisq.Test(o, r, dhat, full, t.TestEpsFactor*eps, t.Chi)
 		return res.Accept, nil

@@ -17,7 +17,7 @@ func rate(t *testing.T, tester Tester, d dist.Distribution, k int, eps float64, 
 	accepts := 0
 	for i := 0; i < trials; i++ {
 		s := oracle.NewSampler(d, r)
-		dec, err := tester.Run(s, r, k, eps)
+		dec, err := tester.Run(nil, s, r, k, eps)
 		if err != nil {
 			t.Fatalf("trial %d: %v", i, err)
 		}
@@ -48,7 +48,7 @@ func TestNaiveLargeDomainCoarsens(t *testing.T) {
 	r := rng.New(4)
 	d := gen.KHistogram(r, 2*4096, 3)
 	s := oracle.NewSampler(d, r)
-	dec, err := NewNaive().Run(s, r, 3, 0.5)
+	dec, err := NewNaive().Run(nil, s, r, 3, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestCollisionFar(t *testing.T) {
 func TestCollisionRejectsKNotOne(t *testing.T) {
 	r := rng.New(11)
 	s := oracle.NewSampler(dist.Uniform(64), r)
-	if _, err := NewCollision().Run(s, r, 2, 0.3); err == nil {
+	if _, err := NewCollision().Run(nil, s, r, 2, 0.3); err == nil {
 		t.Fatal("k=2 accepted by uniformity tester")
 	}
 }
@@ -132,12 +132,12 @@ func TestWithScaleChangesBudget(t *testing.T) {
 	for _, tester := range []Tester{NewNaive(), NewCDGR16(), NewILR12(), NewCollision(), NewCanonne()} {
 		k := 1
 		s1 := oracle.NewSampler(d, r)
-		full, err := tester.Run(s1, r, k, 0.5)
+		full, err := tester.Run(nil, s1, r, k, 0.5)
 		if err != nil {
 			t.Fatalf("%s: %v", tester.Name(), err)
 		}
 		s2 := oracle.NewSampler(d, r)
-		half, err := tester.WithScale(0.25).Run(s2, r, k, 0.5)
+		half, err := tester.WithScale(0.25).Run(nil, s2, r, k, 0.5)
 		if err != nil {
 			t.Fatalf("%s scaled: %v", tester.Name(), err)
 		}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/histdp"
@@ -65,7 +66,10 @@ func NewILR12() *ILR12 {
 func (t *ILR12) Name() string { return "ilr12-flatness" }
 
 // Run implements Tester.
-func (t *ILR12) Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error) {
+func (t *ILR12) Run(ctx context.Context, o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return run(o, func() (bool, error) {
 		n := o.N()
 		if k >= n {
@@ -76,13 +80,16 @@ func (t *ILR12) Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, 
 		if L < 1 {
 			L = 1
 		}
-		part, err := learn.ApproxPart(o, r, L, t.PartSampleC)
+		part, err := learn.ApproxPartContext(ctx, o, r, L, t.PartSampleC)
 		if err != nil {
 			return false, err
 		}
 		p := part.Partition
 
 		// Estimate interval masses and check the flattening against H_k.
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		mMass := int(math.Ceil(t.MassSampleC * float64(p.Count()) / (eps * eps)))
 		massCounts := oracle.NewCounts(n, oracle.DrawN(o, mMass))
 		flat := learn.LaplaceEstimate(massCounts, p)
@@ -95,6 +102,9 @@ func (t *ILR12) Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, 
 		}
 
 		// Within-interval flatness by collisions.
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		mFlat := int(math.Ceil(t.FlatC * math.Sqrt(float64(k)*float64(n)) / math.Pow(eps, 4)))
 		flatCounts := oracle.NewCounts(n, oracle.DrawN(o, mFlat))
 		epsLoc := t.LocalEps * eps
@@ -155,8 +165,11 @@ func NewCollision() *Collision { return &Collision{C: 4} }
 func (t *Collision) Name() string { return "paninski-collision" }
 
 // Run implements Tester. k must be 1.
-func (t *Collision) Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error) {
+func (t *Collision) Run(ctx context.Context, o oracle.Oracle, r *rng.RNG, k int, eps float64) (Decision, error) {
 	return run(o, func() (bool, error) {
+		if err := ctxErr(ctx); err != nil {
+			return false, err
+		}
 		if k != 1 {
 			return false, errNotUniformity
 		}

@@ -248,9 +248,9 @@ func Test(o oracle.Oracle, r *rng.RNG, dstar dist.Distribution, g *intervals.Dom
 	m := params.SampleMean(n, eps)
 	tau := params.Threshold(n, eps)
 	counts := oracle.DrawCounts(o, r, m)
+	defer counts.Release()
 	z := ZDomain(counts, dstar, g, m, tau)
 	drawn := counts.Total()
-	counts.Release()
 	thr := params.AcceptFactor * m * eps * eps
 	return Result{Accept: z <= thr, Z: z, Threshold: thr, M: m, Drawn: drawn}
 }
@@ -266,8 +266,8 @@ func TestFixed(o oracle.Oracle, r *rng.RNG, dstar dist.Distribution, g *interval
 	tau := params.Threshold(n, eps)
 	drawn := int(math.Round(m))
 	counts := oracle.DrawNCounts(o, drawn)
+	defer counts.Release()
 	z := ZDomain(counts, dstar, g, m, tau)
-	counts.Release()
 	thr := params.AcceptFactor * m * eps * eps
 	return Result{Accept: z <= thr, Z: z, Threshold: thr, M: m, Drawn: drawn}
 }

@@ -24,6 +24,7 @@ import (
 	"runtime"
 
 	"repro/internal/chisq"
+	"repro/internal/obs"
 )
 
 // Config carries every constant of Algorithm 1. The paper fixes these in
@@ -96,6 +97,15 @@ type Config struct {
 	// against distributions that match their own partition flattening —
 	// experiment E12 demonstrates the resulting false accepts.
 	SkipCheck bool
+
+	// Observer, when non-nil, receives the run's structured stage events
+	// (stage enter/exit with per-stage draw counts, per-sieve-round
+	// removals and fan-out, pool and counting-path statistics — see
+	// internal/obs for the schema). nil is the zero-overhead fast path:
+	// no events, no clock reads, no allocations. Attaching an observer
+	// never consumes randomness, so the decision and the Trace are
+	// bit-identical with and without one.
+	Observer obs.Observer
 }
 
 // workers resolves the Workers knob: 0 means GOMAXPROCS.

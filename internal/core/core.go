@@ -1,17 +1,20 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/chisq"
 	"repro/internal/dist"
 	"repro/internal/histdp"
 	"repro/internal/intervals"
 	"repro/internal/learn"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -92,6 +95,19 @@ type Arena struct {
 	order  []int       // removal ordering / heavy-index scratch
 	reprng []rng.RNG   // per-replicate RNG structs, re-split every round
 	jobs   []replicate // per-replicate fork bindings
+
+	// Observability state of the in-flight TestContext call. A nil ob is
+	// the zero-overhead fast path: no events, no clock reads, no extra
+	// allocations. The fields live on the Arena (not in closures) so
+	// attaching an observer adds no captures — and therefore no heap
+	// cells — to the hot-path closures. obDense/obSparse tally the
+	// current sieve round's counting-path choices; they are atomics
+	// because replicate workers update them concurrently.
+	ob                obs.Observer
+	obRun             uint64
+	obStart           time.Time
+	obDense, obSparse int64
+	obWorkers         int
 }
 
 // replicate pairs a forked oracle with its private RNG stream for one
@@ -144,6 +160,50 @@ func (a *Arena) grow(K, reps int) {
 	}
 }
 
+// emit delivers e to the attached observer, stamping the run ID and the
+// monotonic elapsed time. It is a no-op — no event construction survives,
+// no clock is read, nothing allocates — when no observer is attached.
+func (a *Arena) emit(e obs.Event) {
+	if a.ob == nil {
+		return
+	}
+	e.Run = a.obRun
+	e.Elapsed = time.Since(a.obStart)
+	a.ob.Observe(e)
+}
+
+// emitRound reports one sieve decision batch (round 0 is the stage-3a
+// heavy pass): removals, realized draw count, worker fan-out, and the
+// counting-path / pool deltas accumulated since the given marks.
+func (a *Arena) emitRound(o oracle.Oracle, round, removed, reps int, sampMark int64, poolMark oracle.PoolStats) {
+	if a.ob == nil {
+		return
+	}
+	ps := oracle.PoolStatsSnapshot()
+	a.emit(obs.Event{
+		Kind:       obs.KindSieveRound,
+		Stage:      obs.StageSieve,
+		Round:      round,
+		Removed:    removed,
+		Samples:    o.Samples() - sampMark,
+		Workers:    a.obWorkers,
+		Replicates: reps,
+		Dense:      int(atomic.LoadInt64(&a.obDense)),
+		Sparse:     int(atomic.LoadInt64(&a.obSparse)),
+		PoolHits:   ps.Hits - poolMark.Hits,
+		PoolMisses: ps.Misses - poolMark.Misses,
+	})
+}
+
+// fail emits the RunEnd failure event (cancellations included) and
+// returns err.
+func (a *Arena) fail(samples int64, err error) (*Result, error) {
+	if a.ob != nil {
+		a.emit(obs.Event{Kind: obs.KindRunEnd, Samples: samples, Err: err.Error()})
+	}
+	return nil, err
+}
+
 // Test runs Algorithm 1: decide whether the distribution behind o is a
 // k-histogram (accept) or ε-far from every k-histogram (reject), each
 // with probability at least 2/3 under the configured constants.
@@ -168,12 +228,37 @@ func (a *Arena) grow(K, reps int) {
 // repeatedly should reuse an Arena via Arena.Test, which is equivalent
 // (bit-identical Trace) but allocation-free in steady state.
 func Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result, error) {
-	return NewArena().Test(o, r, k, eps, cfg)
+	return NewArena().TestContext(context.Background(), o, r, k, eps, cfg)
+}
+
+// TestContext is Test honoring ctx: the run aborts with ctx.Err() at
+// sieve-round and batch-draw granularity (see Arena.TestContext).
+func TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result, error) {
+	return NewArena().TestContext(ctx, o, r, k, eps, cfg)
 }
 
 // Test runs Algorithm 1 using a's scratch buffers (see Test for the
 // algorithm contract).
 func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result, error) {
+	return a.TestContext(context.Background(), o, r, k, eps, cfg)
+}
+
+// TestContext runs Algorithm 1 using a's scratch buffers, honoring ctx
+// (see Test for the algorithm contract).
+//
+// Cancellation contract: the context is checked before every Poissonized
+// batch draw (each sieve replicate, the learner's and final test's
+// batches) and at every sieve-round boundary, so a cancelled run returns
+// ctx.Err() within one sieve round of the cancellation. In-flight
+// replicate batches complete and release their pooled count buffers
+// before the error returns — a cancelled run retains no pooled Counts
+// (asserted by TestCancellationReleasesPooledCounts) — and clone draws
+// are folded back into o's counter, so sample accounting stays exact.
+// A nil ctx means context.Background().
+func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := o.N()
 	if k < 1 {
 		return nil, fmt.Errorf("core: k = %d must be positive", k)
@@ -181,12 +266,22 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 	if eps <= 0 || eps > 1 {
 		return nil, fmt.Errorf("core: eps = %v must be in (0, 1]", eps)
 	}
+	a.ob = cfg.Observer
+	if a.ob != nil {
+		a.obRun = obs.NextRunID()
+		a.obStart = time.Now()
+		a.emit(obs.Event{Kind: obs.KindRunStart, N: n, K: k, Eps: eps})
+	}
 	if k >= n {
 		// Every distribution over [n] is an n-histogram.
+		a.emit(obs.Event{Kind: obs.KindRunEnd, Accept: true})
 		return &Result{Accept: true, Domain: intervals.FullDomain(n)}, nil
 	}
 	if est := ExpectedSamples(n, k, eps, cfg); est > cfg.maxSamples() {
-		return nil, fmt.Errorf("core: nominal budget %d samples exceeds the guard %d; lower the constants (Config.Scale) or raise Config.MaxSamples", est, cfg.maxSamples())
+		return a.fail(0, fmt.Errorf("core: nominal budget %d samples exceeds the guard %d; lower the constants (Config.Scale) or raise Config.MaxSamples", est, cfg.maxSamples()))
+	}
+	if err := ctx.Err(); err != nil {
+		return a.fail(0, err)
 	}
 
 	tr := Trace{N: n}
@@ -198,22 +293,30 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 	}
 
 	// Stage 1: partition (Proposition 3.4).
+	a.emit(obs.Event{Kind: obs.KindStageEnter, Stage: obs.StagePartition})
 	b := cfg.PartB(k, eps)
 	tr.B = b
-	part, err := learn.ApproxPart(o, r, b, cfg.PartSampleC)
+	part, err := learn.ApproxPartContext(ctx, o, r, b, cfg.PartSampleC)
 	if err != nil {
-		return nil, err
+		return a.fail(tr.TotalSamples(), err)
 	}
 	p := part.Partition
 	K := p.Count()
 	tr.K = K
 	tr.PartitionSamples = took()
+	a.emit(obs.Event{Kind: obs.KindStageExit, Stage: obs.StagePartition, Samples: tr.PartitionSamples})
 
 	// Stage 2: learn (Lemma 3.5).
-	dhat, _ := learn.Learn(o, r, p, eps/cfg.LearnEpsDivisor, cfg.LearnSampleC)
+	a.emit(obs.Event{Kind: obs.KindStageEnter, Stage: obs.StageLearn})
+	dhat, _, err := learn.LearnContext(ctx, o, r, p, eps/cfg.LearnEpsDivisor, cfg.LearnSampleC)
+	if err != nil {
+		return a.fail(tr.TotalSamples(), err)
+	}
 	tr.LearnSamples = took()
+	a.emit(obs.Event{Kind: obs.KindStageExit, Stage: obs.StageLearn, Samples: tr.LearnSamples})
 
 	// Stage 3: sieve (§3.2.1).
+	a.emit(obs.Event{Kind: obs.KindStageEnter, Stage: obs.StageSieve})
 	alpha := cfg.Alpha(eps)
 	mSieve := cfg.SieveMFactor * math.Sqrt(float64(n)) / (alpha * alpha)
 	tau := cfg.Chi.TruncFactor * eps / float64(n)
@@ -254,10 +357,18 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 	// computeZs draws fresh Poissonized samples reps times and returns the
 	// per-interval medians (in a.zs, overwritten per call). The replicate
 	// statistic rows, the median column, and the Poissonized count buffers
-	// (via the oracle pool) are all recycled round over round.
-	computeZs := func() []float64 {
+	// (via the oracle pool) are all recycled round over round. The context
+	// is checked before every batch draw; batches already in flight finish
+	// and release their pooled buffers before the cancellation error
+	// surfaces, and clone draws are always folded back into o's counter.
+	computeZs := func() ([]float64, error) {
 		g := domain()
 		med := a.med
+		if a.ob != nil {
+			atomic.StoreInt64(&a.obDense, 0)
+			atomic.StoreInt64(&a.obSparse, 0)
+		}
+		a.obWorkers = 1
 		if forker != nil {
 			jobs := a.jobs
 			for t := range jobs {
@@ -269,14 +380,26 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 			}
 			run := func(t int) {
 				counts := oracle.DrawCounts(jobs[t].o, jobs[t].r, mSieve)
+				if a.ob != nil {
+					if counts.Dense() {
+						atomic.AddInt64(&a.obDense, 1)
+					} else {
+						atomic.AddInt64(&a.obSparse, 1)
+					}
+				}
 				med[t] = chisq.ZPerIntervalInto(med[t][:0], counts, dhat, p, g, mSieve, tau)
 				counts.Release()
 			}
+			var runErr error
 			if w := min(workers, reps); w <= 1 {
 				for t := range jobs {
+					if runErr = ctx.Err(); runErr != nil {
+						break
+					}
 					run(t)
 				}
 			} else {
+				a.obWorkers = w
 				var wg sync.WaitGroup
 				next := int64(-1)
 				for i := 0; i < w; i++ {
@@ -285,7 +408,7 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 						defer wg.Done()
 						for {
 							t := int(atomic.AddInt64(&next, 1))
-							if t >= reps {
+							if t >= reps || ctx.Err() != nil {
 								return
 							}
 							run(t)
@@ -293,17 +416,31 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 					}()
 				}
 				wg.Wait()
+				runErr = ctx.Err()
 			}
 			// Fold the per-replicate draw counters back into the parent so
-			// Trace accounting stays exact.
+			// Trace accounting stays exact — on the cancellation path too.
 			var drawn int64
 			for t := range jobs {
 				drawn += jobs[t].o.Samples()
 			}
 			forker.Absorb(drawn)
+			if runErr != nil {
+				return nil, runErr
+			}
 		} else {
 			for t := 0; t < reps; t++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				counts := oracle.DrawCounts(o, r, mSieve)
+				if a.ob != nil {
+					if counts.Dense() {
+						atomic.AddInt64(&a.obDense, 1)
+					} else {
+						atomic.AddInt64(&a.obSparse, 1)
+					}
+				}
 				med[t] = chisq.ZPerIntervalInto(med[t][:0], counts, dhat, p, g, mSieve, tau)
 				counts.Release()
 			}
@@ -316,7 +453,7 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 			}
 			zs[j] = stats.MedianInPlace(col)
 		}
-		return zs
+		return zs, nil
 	}
 
 	removable := func(j int) bool { return keep[j] && p.Interval(j).Len() > 1 }
@@ -328,7 +465,15 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 	reject := func(stage, reason string) (*Result, error) {
 		tr.RejectStage = stage
 		tr.RejectReason = reason
+		if a.ob != nil {
+			a.emit(obs.Event{Kind: obs.KindRunEnd, Samples: tr.TotalSamples(), RejectStage: stage})
+		}
 		return &Result{Accept: false, Trace: tr, Learned: dhat, Domain: domain()}, nil
+	}
+	// sieveExit closes the sieve stage's sample accounting and event.
+	sieveExit := func() {
+		tr.SieveSamples = took()
+		a.emit(obs.Event{Kind: obs.KindStageExit, Stage: obs.StageSieve, Samples: tr.SieveSamples})
 	}
 
 	// Stage 3a: discard the heavy offenders. EVERY interval above the
@@ -337,7 +482,16 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 	// sieve has no right to remove but must still hold against the
 	// k-interval allowance — while only removable (non-singleton)
 	// intervals are actually discarded.
-	zs := computeZs()
+	var roundSamp int64
+	var roundPool oracle.PoolStats
+	if a.ob != nil {
+		roundSamp, roundPool = o.Samples(), oracle.PoolStatsSnapshot()
+	}
+	zs, err := computeZs()
+	if err != nil {
+		sieveExit()
+		return a.fail(tr.TotalSamples(), err)
+	}
 	heavyThr := cfg.SieveHeavyFactor * mSieve * alpha * alpha
 	heavyTotal := 0
 	heavyIdx := a.order[:0] // scratch; consumed before the 3b rounds reuse it
@@ -352,15 +506,17 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 	}
 	tr.HeavySingletons = heavyTotal - len(heavyIdx)
 	if heavyTotal > k {
-		tr.SieveSamples = took()
+		a.emitRound(o, 0, 0, reps, roundSamp, roundPool)
+		sieveExit()
 		return reject(StageSieveHeavy, fmt.Sprintf("%d intervals above the heavy cutoff (%d unremovable singletons), k = %d", heavyTotal, tr.HeavySingletons, k))
 	}
 	for _, j := range heavyIdx {
 		remove(j)
 	}
 	tr.RemovedHeavy = len(heavyIdx)
+	a.emitRound(o, 0, len(heavyIdx), reps, roundSamp, roundPool)
 	if tr.RemovedMass > cfg.DiscardMassCap*eps {
-		tr.SieveSamples = took()
+		sieveExit()
 		return reject(StageDiscardMass, fmt.Sprintf("discarded mass %.4f exceeds cap %.4f", tr.RemovedMass, cfg.DiscardMassCap*eps))
 	}
 
@@ -369,8 +525,20 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 	residualThr := cfg.SieveResidualFactor * mSieve * alpha * alpha
 	rounds := cfg.SieveRounds(k)
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			sieveExit()
+			return a.fail(tr.TotalSamples(), err)
+		}
 		tr.SieveRoundsRun = round + 1
-		zs = computeZs()
+		if a.ob != nil {
+			roundSamp, roundPool = o.Samples(), oracle.PoolStatsSnapshot()
+		}
+		zs, err = computeZs()
+		if err != nil {
+			sieveExit()
+			return a.fail(tr.TotalSamples(), err)
+		}
+		removedBefore := tr.RemovedRounds
 		total := 0.0
 		for j := 0; j < K; j++ {
 			if keep[j] {
@@ -378,6 +546,7 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 			}
 		}
 		if total < acceptThr {
+			a.emitRound(o, round+1, 0, reps, roundSamp, roundPool)
 			break
 		}
 		// Remove the largest Z_j (non-singletons only) until the survivors
@@ -397,26 +566,33 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 			remove(j)
 			tr.RemovedRounds++
 			if tr.RemovedMass > cfg.DiscardMassCap*eps {
-				tr.SieveSamples = took()
+				a.emitRound(o, round+1, tr.RemovedRounds-removedBefore, reps, roundSamp, roundPool)
+				sieveExit()
 				return reject(StageDiscardMass, fmt.Sprintf("discarded mass %.4f exceeds cap %.4f", tr.RemovedMass, cfg.DiscardMassCap*eps))
 			}
 		}
+		a.emitRound(o, round+1, tr.RemovedRounds-removedBefore, reps, roundSamp, roundPool)
 		if total > residualThr {
-			tr.SieveSamples = took()
+			sieveExit()
 			return reject(StageSieveStuck, "residual statistic cannot be brought below target by removals")
 		}
 	}
-	tr.SieveSamples = took()
+	sieveExit()
 	g := domain()
 
 	// Stage 4: check that some k-histogram is close to D̂ on G (Step 10 of
 	// Algorithm 1, via the DP of histdp).
+	if err := ctx.Err(); err != nil {
+		return a.fail(tr.TotalSamples(), err)
+	}
 	if !cfg.SkipCheck {
+		a.emit(obs.Event{Kind: obs.KindStageEnter, Stage: obs.StageCheck})
 		proj, err := histdp.ProjectTV(dhat, k, g)
 		if err != nil {
-			return nil, fmt.Errorf("core: check DP failed: %w", err)
+			return a.fail(tr.TotalSamples(), fmt.Errorf("core: check DP failed: %w", err))
 		}
 		tr.CheckRelaxed = proj.Relaxed
+		a.emit(obs.Event{Kind: obs.KindStageExit, Stage: obs.StageCheck})
 		tol := eps / cfg.CheckTolDivisor
 		if proj.Relaxed > tol {
 			return reject(StageCheck, fmt.Sprintf("distance of D̂ to H_k on G is %.5f > tolerance %.5f", proj.Relaxed, tol))
@@ -424,12 +600,20 @@ func (a *Arena) Test(o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config
 	}
 
 	// Stage 5: final χ²-vs-TV test of D against D̂ on G with fresh samples.
+	if err := ctx.Err(); err != nil {
+		return a.fail(tr.TotalSamples(), err)
+	}
+	a.emit(obs.Event{Kind: obs.KindStageEnter, Stage: obs.StageTest})
 	res := chisq.Test(o, r, dhat, g, cfg.TestEpsFactor*eps, cfg.Chi)
 	tr.TestSamples = took()
 	tr.FinalZ = res.Z
 	tr.FinalThresh = res.Threshold
+	a.emit(obs.Event{Kind: obs.KindStageExit, Stage: obs.StageTest, Samples: tr.TestSamples})
 	if !res.Accept {
 		return reject(StageTest, fmt.Sprintf("final statistic %.1f above threshold %.1f", res.Z, res.Threshold))
+	}
+	if a.ob != nil {
+		a.emit(obs.Event{Kind: obs.KindRunEnd, Accept: true, Samples: tr.TotalSamples()})
 	}
 	return &Result{Accept: true, Trace: tr, Learned: dhat, Domain: g}, nil
 }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/intervals"
+	"repro/internal/obs"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// Metamorphic battery: transformations of the input with a known effect
+// on the ground truth must leave the tester's decision distribution
+// (and, for pure observation, its exact Trace) unchanged.
+
+// permutedAcceptRate is acceptRate with the sample stream relabelled
+// through sigma.
+func permutedAcceptRate(t *testing.T, d dist.Distribution, sigma []int, k int, eps float64, trials int, seed uint64) float64 {
+	t.Helper()
+	r := rng.New(seed)
+	accepts := 0
+	for i := 0; i < trials; i++ {
+		s, err := oracle.NewPermuted(oracle.NewSampler(d, r), sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Test(s, r, k, eps, PracticalConfig())
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if res.Accept {
+			accepts++
+		}
+	}
+	return float64(accepts) / float64(trials)
+}
+
+// TestMetamorphicRelabelWithinFlatInterval: permuting elements WITHIN a
+// flat piece of a histogram leaves the distribution itself unchanged
+// (all relabelled elements carry equal mass), so the accept rate must
+// stay within the seeded trial tolerance of the unpermuted run.
+func TestMetamorphicRelabelWithinFlatInterval(t *testing.T) {
+	n := 512
+	d := threeHistogram(n)
+	// Reverse the first flat piece [0, n/4); identity elsewhere.
+	sigma := make([]int, n)
+	for i := range sigma {
+		sigma[i] = i
+	}
+	for i := 0; i < n/4; i++ {
+		sigma[i] = n/4 - 1 - i
+	}
+	trials := 12
+	base := acceptRate(t, d, 3, 0.5, PracticalConfig(), trials, 67)
+	perm := permutedAcceptRate(t, d, sigma, 3, 0.5, trials, 67)
+	if base < 0.75 {
+		t.Fatalf("baseline accept rate %v too low for the comparison to mean anything", base)
+	}
+	if diff := base - perm; diff > 0.25 || diff < -0.25 {
+		t.Fatalf("flat-interval relabelling moved the accept rate: base %v, permuted %v", base, perm)
+	}
+}
+
+// TestMetamorphicRelabelAcrossPieces is the control: a relabelling that
+// crosses level boundaries DOES change the distribution (it shatters
+// the histogram structure), so a far instance must stay rejected —
+// the invariance above is specific to flat intervals, not permutation
+// blindness.
+func TestMetamorphicRelabelAcrossPieces(t *testing.T) {
+	n := 512
+	// Interleave the heavy first quarter with the light second quarter:
+	// the result has ~n/2 alternating heavy/light singletons — far from
+	// any 3-histogram.
+	sigma := make([]int, n)
+	for i := range sigma {
+		sigma[i] = i
+	}
+	for i := 0; i < n/4; i++ {
+		sigma[i] = 2 * i
+		sigma[n/4+i] = 2*i + 1
+	}
+	rate := permutedAcceptRate(t, threeHistogram(n), sigma, 3, 0.45, 12, 71)
+	if rate > 0.35 {
+		t.Fatalf("shattering relabelling still accepted at rate %v", rate)
+	}
+}
+
+// scaleHistogram doubles the domain by stretching every piece 2x: the
+// result is a histogram with identical piece count, masses, and relative
+// geometry over [0, 2n] — the joint (n, k) scaling under which the
+// testing problem is self-similar.
+func scaleHistogram(d *dist.PiecewiseConstant) *dist.PiecewiseConstant {
+	pieces := d.Pieces()
+	out := make([]dist.Piece, len(pieces))
+	for i, p := range pieces {
+		out[i] = dist.Piece{
+			Iv:   intervals.Interval{Lo: 2 * p.Iv.Lo, Hi: 2 * p.Iv.Hi},
+			Mass: p.Mass,
+		}
+	}
+	return dist.MustPiecewiseConstant(2*d.N(), out)
+}
+
+// TestMetamorphicJointScaling: stretching a yes-instance (and a
+// no-instance) to double the domain keeps the ground truth — membership
+// in H_k and distance to H_k are invariant under the stretch — so the
+// decision distribution must not flip at either scale.
+func TestMetamorphicJointScaling(t *testing.T) {
+	yes := threeHistogram(256)
+	yesBig := scaleHistogram(yes)
+	if yesBig.N() != 512 {
+		t.Fatalf("scaled domain %d", yesBig.N())
+	}
+	trials := 12
+	if r := acceptRate(t, yes, 3, 0.5, PracticalConfig(), trials, 73); r < 0.7 {
+		t.Fatalf("yes-instance accept rate %v at n=256", r)
+	}
+	if r := acceptRate(t, yesBig, 3, 0.5, PracticalConfig(), trials, 73); r < 0.7 {
+		t.Fatalf("yes-instance accept rate %v after scaling to n=512", r)
+	}
+
+	no := comb(256)
+	noBig := scaleHistogram(no) // pairs of equal elements: still far from H_4
+	if r := acceptRate(t, no, 4, 0.45, PracticalConfig(), trials, 79); r > 0.3 {
+		t.Fatalf("no-instance accept rate %v at n=256", r)
+	}
+	if r := acceptRate(t, noBig, 4, 0.45, PracticalConfig(), trials, 79); r > 0.3 {
+		t.Fatalf("no-instance accept rate %v after scaling to n=512", r)
+	}
+}
+
+// TestTraceBitIdenticalWithObserver pins the zero-interference contract:
+// attaching an observer (and simultaneously changing the worker count)
+// must yield the EXACT same Trace and decision, because observation
+// never consumes randomness and the replicate RNGs are pre-split.
+func TestTraceBitIdenticalWithObserver(t *testing.T) {
+	d := threeHistogram(512)
+	runOnce := func(workers int, ob obs.Observer) (*Result, int64) {
+		cfg := PracticalConfig()
+		cfg.Workers = workers
+		cfg.Observer = ob
+		r := rng.New(83)
+		s := oracle.NewSampler(d, r)
+		res, err := Test(s, r, 3, 0.5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s.Samples()
+	}
+	plain, plainDrawn := runOnce(1, nil)
+	for _, workers := range []int{1, 4} {
+		rec := obs.NewTraceRecorder()
+		got, drawn := runOnce(workers, rec)
+		if got.Accept != plain.Accept {
+			t.Fatalf("workers=%d observed: decision flipped", workers)
+		}
+		if !reflect.DeepEqual(got.Trace, plain.Trace) {
+			t.Fatalf("workers=%d observed: Trace diverged\nplain: %+v\nobserved: %+v", workers, plain.Trace, got.Trace)
+		}
+		if drawn != plainDrawn {
+			t.Fatalf("workers=%d observed: drew %d samples, plain drew %d", workers, drawn, plainDrawn)
+		}
+		if rec.Len() == 0 {
+			t.Fatal("observer attached but saw no events")
+		}
+	}
+}

@@ -42,7 +42,7 @@ func TestTableRender(t *testing.T) {
 
 func TestAcceptRate(t *testing.T) {
 	r := rng.New(1)
-	res, err := AcceptRate(baselines.NewCollision(), Fixed(dist.Uniform(512)), 1, 0.3, 20, r)
+	res, err := AcceptRate(nil, baselines.NewCollision(), Fixed(dist.Uniform(512)), 1, 0.3, 20, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestMinimalScaleFindsThreshold(t *testing.T) {
 			return d
 		},
 	}
-	search, err := MinimalScale(baselines.NewCollision(), w, 16, 1.0/64, r)
+	search, err := MinimalScale(nil, baselines.NewCollision(), w, 16, 1.0/64, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestMinimalScaleErrorsWhenImpossible(t *testing.T) {
 	// Yes and No identical: no budget can distinguish.
 	n := 256
 	w := Workload{K: 1, Eps: 0.3, Yes: Fixed(dist.Uniform(n)), No: Fixed(dist.Uniform(n))}
-	if _, err := MinimalScale(baselines.NewCollision(), w, 8, 0.5, r); err == nil {
+	if _, err := MinimalScale(nil, baselines.NewCollision(), w, 8, 0.5, r); err == nil {
 		t.Fatal("impossible workload should error out")
 	}
 }

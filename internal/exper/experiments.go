@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/histdp"
 	"repro/internal/intervals"
 	"repro/internal/lowerbound"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -23,6 +25,15 @@ type RunConfig struct {
 	Quick bool
 	// Progress, if non-nil, receives one line per completed sweep point.
 	Progress io.Writer
+	// Ctx, when non-nil, bounds the whole run: trial batches stop claiming
+	// work and in-flight testers abort at their next context check,
+	// surfacing ctx.Err(). nil means context.Background().
+	Ctx context.Context
+	// Observer, when non-nil, receives the structured stage events of
+	// every core-tester run the experiments launch (see internal/obs).
+	// Experiments run trials concurrently, so the observer must be
+	// concurrency-safe; the event Run field disambiguates interleavings.
+	Observer obs.Observer
 }
 
 func (rc RunConfig) rng() *rng.RNG {
@@ -30,6 +41,20 @@ func (rc RunConfig) rng() *rng.RNG {
 		rc.Seed = 1
 	}
 	return rng.New(rc.Seed)
+}
+
+func (rc RunConfig) ctx() context.Context {
+	if rc.Ctx != nil {
+		return rc.Ctx
+	}
+	return context.Background()
+}
+
+// canonne returns the paper's tester with the run's observer attached.
+func (rc RunConfig) canonne() *baselines.Canonne {
+	t := baselines.NewCanonne()
+	t.Config.Observer = rc.Observer
+	return t
 }
 
 func (rc RunConfig) progress(format string, args ...any) {
@@ -115,7 +140,7 @@ func e1() Experiment {
 				Header: []string{"n", "scale*", "m*", "m*/sqrt(n)", "yes-rate", "no-rate"},
 			}
 			for _, n := range ns {
-				search, err := MinimalScale(baselines.NewCanonne(), histWorkload(n, k, eps), trials, 1.0/256, r)
+				search, err := MinimalScale(rc.ctx(), rc.canonne(), histWorkload(n, k, eps), trials, 1.0/256, r)
 				if err != nil {
 					return nil, err
 				}
@@ -156,7 +181,7 @@ func e2() Experiment {
 				Header: []string{"k", "scale*", "m*", "m*/k", "yes-rate", "no-rate"},
 			}
 			for _, k := range ks {
-				search, err := MinimalScale(baselines.NewCanonne(), histWorkload(n, k, eps), trials, 1.0/256, r)
+				search, err := MinimalScale(rc.ctx(), rc.canonne(), histWorkload(n, k, eps), trials, 1.0/256, r)
 				if err != nil {
 					return nil, err
 				}
@@ -192,7 +217,7 @@ func e3() Experiment {
 			k, eps := 4, 0.4
 			trials := rc.pick(8, 12)
 			testers := []baselines.Tester{
-				baselines.NewCanonne(),
+				rc.canonne(),
 				baselines.NewCDGR16(),
 				baselines.NewILR12(),
 				baselines.NewNaive(),
@@ -205,7 +230,7 @@ func e3() Experiment {
 				w := histWorkload(n, k, eps)
 				row := []string{fmt.Sprintf("%d", n)}
 				for _, tester := range testers {
-					search, err := MinimalScale(tester, w, trials, 1.0/256, r)
+					search, err := MinimalScale(rc.ctx(), tester, w, trials, 1.0/256, r)
 					switch {
 					case errors.Is(err, ErrNoPassingScale):
 						// The no-sieve baseline fails completeness on
@@ -271,11 +296,11 @@ func e4() Experiment {
 			for _, n := range []int{1 << 10, 1 << 14} {
 				for _, s := range scales {
 					tester := baselines.NewCollision().WithScale(s)
-					yes, err := AcceptRate(tester, Fixed(dist.Uniform(n)), 1, eps, trials, r)
+					yes, err := AcceptRate(rc.ctx(), tester, Fixed(dist.Uniform(n)), 1, eps, trials, r)
 					if err != nil {
 						return nil, err
 					}
-					no, err := AcceptRate(tester, paninski(n), 1, eps, trials, r)
+					no, err := AcceptRate(rc.ctx(), tester, paninski(n), 1, eps, trials, r)
 					if err != nil {
 						return nil, err
 					}
@@ -303,12 +328,12 @@ func e4() Experiment {
 			}
 			n := 1 << 10
 			for _, s := range tbScales {
-				tester := baselines.NewCanonne().WithScale(s)
-				yes, err := AcceptRate(tester, Fixed(dist.Uniform(n)), 1, eps, tbTrials, r)
+				tester := rc.canonne().WithScale(s)
+				yes, err := AcceptRate(rc.ctx(), tester, Fixed(dist.Uniform(n)), 1, eps, tbTrials, r)
 				if err != nil {
 					return nil, err
 				}
-				no, err := AcceptRate(tester, paninski(n), 1, eps, tbTrials, r)
+				no, err := AcceptRate(rc.ctx(), tester, paninski(n), 1, eps, tbTrials, r)
 				if err != nil {
 					return nil, err
 				}
@@ -404,7 +429,7 @@ func e5() Experiment {
 						if err != nil {
 							return nil, err
 						}
-						dec, err := tester.Run(emb, r, rd.K(), rd.Eps())
+						dec, err := tester.Run(rc.ctx(), emb, r, rd.K(), rd.Eps())
 						if err != nil {
 							return nil, err
 						}

@@ -40,7 +40,7 @@ func e6() Experiment {
 				deltas = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
 			}
 			trials := rc.pick(8, 16)
-			tester := baselines.NewCanonne()
+			tester := rc.canonne()
 			tb := NewSeries(
 				fmt.Sprintf("E6: accept rate vs distance (n=%d, k=%d, ε=%.2f)", n, k, eps),
 				2, "target dist", "measured dist", "accept rate", "95% CI")
@@ -52,7 +52,7 @@ func e6() Experiment {
 				if err != nil {
 					return nil, err
 				}
-				rate, err := AcceptRate(tester, Fixed(inst), k, eps, trials, r)
+				rate, err := AcceptRate(rc.ctx(), tester, Fixed(inst), k, eps, trials, r)
 				if err != nil {
 					return nil, err
 				}
@@ -141,7 +141,7 @@ func e8() Experiment {
 			})
 			mild := dist.Uniform(n)
 			far := func(r *rng.RNG) dist.Distribution { return gen.FarFromHk(r, n, 2, 0.5, 64) }
-			testers := []baselines.Tester{baselines.NewCanonne(), baselines.NewCDGR16()}
+			testers := []baselines.Tester{rc.canonne(), baselines.NewCDGR16()}
 			tb := &Table{
 				Title:  fmt.Sprintf("E8: accept rates with and without the sieve (n=%d, k=2, ε=%.2f)", n, eps),
 				Header: []string{"instance", "want", "canonne16 (sieve)", "cdgr16-nosieve"},
@@ -158,7 +158,7 @@ func e8() Experiment {
 			for _, row := range rows {
 				cells := []string{row.name, row.want}
 				for _, tester := range testers {
-					rate, err := AcceptRate(tester, row.inst, 2, eps, trials, r)
+					rate, err := AcceptRate(rc.ctx(), tester, row.inst, 2, eps, trials, r)
 					if err != nil {
 						return nil, err
 					}

@@ -104,7 +104,7 @@ func e12() Experiment {
 			}
 			hist := gen.KHistogram(r, n, k)
 
-			withCheck := baselines.NewCanonne()
+			withCheck := rc.canonne()
 			noCheckCfg := core.PracticalConfig()
 			noCheckCfg.SkipCheck = true
 			noCheck := &baselines.Canonne{Config: noCheckCfg}
@@ -123,7 +123,7 @@ func e12() Experiment {
 			} {
 				cells := []string{row.name, row.want}
 				for _, tester := range []baselines.Tester{withCheck, noCheck} {
-					rate, err := AcceptRate(tester, row.inst, k, eps, trials, r)
+					rate, err := AcceptRate(rc.ctx(), tester, row.inst, k, eps, trials, r)
 					if err != nil {
 						return nil, err
 					}

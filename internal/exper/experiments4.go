@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baselines"
@@ -21,7 +22,12 @@ type knownPartTester struct {
 
 func (t *knownPartTester) Name() string { return "known-partition" }
 
-func (t *knownPartTester) Run(o oracle.Oracle, r *rng.RNG, k int, eps float64) (baselines.Decision, error) {
+func (t *knownPartTester) Run(ctx context.Context, o oracle.Oracle, r *rng.RNG, k int, eps float64) (baselines.Decision, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return baselines.Decision{}, err
+		}
+	}
 	part := intervals.EquiWidth(o.N(), k)
 	res, err := core.TestKnownPartition(o, r, part, eps, t.params)
 	if err != nil {
@@ -53,7 +59,7 @@ func e13() Experiment {
 			}
 			trials := rc.pick(8, 16)
 			known := &knownPartTester{params: core.PracticalKnownPartition()}
-			full := baselines.NewCanonne()
+			full := rc.canonne()
 
 			tb := &Table{
 				Title:  fmt.Sprintf("E13: minimal sample budget, known vs unknown partition (k=%d, ε=%.2f)", k, eps),
@@ -92,11 +98,11 @@ func e13() Experiment {
 						}
 					},
 				}
-				kSearch, err := MinimalScale(known, w, trials, 1.0/256, r)
+				kSearch, err := MinimalScale(rc.ctx(), known, w, trials, 1.0/256, r)
 				if err != nil {
 					return nil, err
 				}
-				fSearch, err := MinimalScale(full, w, trials, 1.0/256, r)
+				fSearch, err := MinimalScale(rc.ctx(), full, w, trials, 1.0/256, r)
 				if err != nil {
 					return nil, err
 				}

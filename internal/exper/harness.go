@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -48,8 +49,13 @@ func (rr RateResult) String() string {
 // deriving every trial's randomness (instance, sampler, and tester
 // streams) from sequential Splits of r BEFORE the parallel phase. Tester
 // values must be stateless across Run calls (all implementations in
-// baselines are).
-func AcceptRate(tester baselines.Tester, inst Instance, k int, eps float64, trials int, r *rng.RNG) (RateResult, error) {
+// baselines are). A cancelled ctx stops claiming new trials, aborts
+// in-flight ones at their testers' next context check, and returns
+// ctx.Err(); nil means context.Background().
+func AcceptRate(ctx context.Context, tester baselines.Tester, inst Instance, k int, eps float64, trials int, r *rng.RNG) (RateResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type trial struct {
 		d         dist.Distribution
 		sampleRNG *rng.RNG
@@ -75,11 +81,11 @@ func AcceptRate(tester baselines.Tester, inst Instance, k int, eps float64, tria
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
-				if i >= trials {
+				if i >= trials || ctx.Err() != nil {
 					return
 				}
 				s := samplerFor(jobs[i].d, jobs[i].sampleRNG)
-				dec, err := tester.Run(s, jobs[i].testerRNG, k, eps)
+				dec, err := tester.Run(ctx, s, jobs[i].testerRNG, k, eps)
 				if err != nil {
 					errs[i] = err
 					continue
@@ -90,6 +96,9 @@ func AcceptRate(tester baselines.Tester, inst Instance, k int, eps float64, tria
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return RateResult{}, err
+	}
 
 	acceptCount := 0
 	var totalSamples int64
@@ -138,18 +147,18 @@ type ScaleSearch struct {
 // tester distinguishes the workload: accept rate >= 0.65 on Yes and
 // <= 0.35 on No. The tester's empirical sample complexity on the workload
 // is the Samples field of the result.
-func MinimalScale(tester baselines.Tester, w Workload, trials int, minScale float64, r *rng.RNG) (*ScaleSearch, error) {
+func MinimalScale(ctx context.Context, tester baselines.Tester, w Workload, trials int, minScale float64, r *rng.RNG) (*ScaleSearch, error) {
 	if minScale <= 0 {
 		minScale = 1.0 / 256
 	}
 	const maxScale = 64.0
 	eval := func(s float64) (yes, no RateResult, pass bool, err error) {
 		scaled := tester.WithScale(s)
-		yes, err = AcceptRate(scaled, w.Yes, w.K, w.Eps, trials, r)
+		yes, err = AcceptRate(ctx, scaled, w.Yes, w.K, w.Eps, trials, r)
 		if err != nil || yes.Rate < 0.65 {
 			return // completeness already failed; skip the no side
 		}
-		no, err = AcceptRate(scaled, w.No, w.K, w.Eps, trials, r)
+		no, err = AcceptRate(ctx, scaled, w.No, w.K, w.Eps, trials, r)
 		if err != nil {
 			return
 		}

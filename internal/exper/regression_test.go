@@ -1,0 +1,67 @@
+package exper
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/intervals"
+	"repro/internal/rng"
+)
+
+// TestE6OperatingCharacteristicRegression pins the tester's operating
+// characteristic on the E6 workload (n=2048, k=4, ε=0.4, seed 3): the
+// accept rate on the in-class instance (δ=0) and on the far instance
+// (δ=0.6) are fully deterministic given the seed, so any change to the
+// statistic, the constants, the RNG splitting discipline, or the stage
+// pipeline that moves completeness or soundness shows up here as a hard
+// failure rather than a silent drift of the E6 table.
+//
+// The thresholds are looser than the recorded rates (12/12 and 0/12 at
+// the time of pinning) by two trials each, so only a real shift in the
+// operating characteristic — not a single borderline trial — can trip
+// them. The repeat-measurement assert below pins determinism separately.
+func TestE6OperatingCharacteristicRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical regression is not a -short test")
+	}
+	const (
+		n, k   = 2048, 4
+		eps    = 0.4
+		trials = 12
+		seed   = 3
+	)
+	measureAll := func() (float64, float64) {
+		r := rng.New(seed)
+		base := gen.KHistogram(r, n, k)
+		flat := dist.Flatten(base, intervals.EquiWidth(n, 128))
+		tester := RunConfig{}.canonne()
+		measure := func(delta float64) float64 {
+			inst, _ := gen.BlockComb(flat, 64, delta)
+			rate, err := AcceptRate(nil, tester, Fixed(inst), k, eps, trials, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rate.Rate
+		}
+		yes := measure(0)  // in H_k: completeness side
+		no := measure(0.6) // DP-verified far: soundness side
+		return yes, no
+	}
+	yes, no := measureAll()
+	t.Logf("E6 regression rates at seed %d: yes=%.3f no=%.3f", seed, yes, no)
+
+	// Determinism pin: the whole measurement — instance generation,
+	// trial splitting, the tester's parallel sieve — reproduces the same
+	// rates bit-for-bit on a second run at the same seed.
+	if yes2, no2 := measureAll(); yes2 != yes || no2 != no {
+		t.Errorf("measurement not deterministic: (%.3f, %.3f) then (%.3f, %.3f)", yes, no, yes2, no2)
+	}
+
+	if yes < 0.83 { // recorded 1.00; allow two flipped trials
+		t.Errorf("completeness regressed: accept rate %.3f at δ=0, pinned floor 0.83", yes)
+	}
+	if no > 0.17 { // recorded 0.00; allow two flipped trials
+		t.Errorf("soundness regressed: accept rate %.3f at δ=0.6, pinned ceiling 0.17", no)
+	}
+}

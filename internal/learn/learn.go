@@ -11,6 +11,7 @@
 package learn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -51,9 +52,20 @@ func ApproxPartSamples(b, c float64) int {
 // matters. c scales the sample budget (the paper's O(·); default 20 in
 // core.Config).
 func ApproxPart(o oracle.Oracle, r *rng.RNG, b, c float64) (*PartResult, error) {
+	return ApproxPartContext(context.Background(), o, r, b, c)
+}
+
+// ApproxPartContext is ApproxPart honoring ctx: the context is checked
+// before the sample batch is drawn (batch-draw granularity; the batch
+// itself is not interruptible), and ctx.Err() is returned on
+// cancellation with no samples consumed and no pooled buffers retained.
+func ApproxPartContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, b, c float64) (*PartResult, error) {
 	n := o.N()
 	if b < 1 {
 		return nil, fmt.Errorf("learn: ApproxPart needs b >= 1, got %v", b)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	m := ApproxPartSamples(b, c)
 	// Pooled tally: identical draw sequence to NewCounts(n, DrawN(o, m))
@@ -142,11 +154,22 @@ func LearnSamples(ell int, eps, c float64) int {
 // output D̂ satisfies dχ²(D̃^J ‖ D̂) <= ε², where D̃^J is D flattened on
 // every non-breakpoint interval of p. c scales the sample budget.
 func Learn(o oracle.Oracle, r *rng.RNG, p *intervals.Partition, eps, c float64) (*dist.PiecewiseConstant, int) {
+	est, m, _ := LearnContext(context.Background(), o, r, p, eps, c)
+	return est, m
+}
+
+// LearnContext is Learn honoring ctx at batch-draw granularity: the
+// context is checked before the sample batch is drawn, and ctx.Err() is
+// returned on cancellation with nothing drawn. The pooled count buffer
+// is released on every path, including a panicking estimator.
+func LearnContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, p *intervals.Partition, eps, c float64) (*dist.PiecewiseConstant, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	m := LearnSamples(p.Count(), eps, c)
 	counts := oracle.DrawNCounts(o, m)
-	est := LaplaceEstimate(counts, p)
-	counts.Release()
-	return est, m
+	defer counts.Release()
+	return LaplaceEstimate(counts, p), m, nil
 }
 
 // EmpiricalFlattening returns the plain empirical flattening over p:

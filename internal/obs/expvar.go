@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sync"
+)
+
+// ExpvarSink publishes run-level counters under the "histtest." expvar
+// namespace — the hook for a future service front-end (expose
+// expvar.Handler() over HTTP and the counters are live). It is a plain
+// Observer: attach it (alone or via Multi) wherever tracing is wired.
+//
+// Published variables:
+//
+//	histtest.runs_started / runs_accepted / runs_rejected / runs_failed
+//	histtest.samples_total
+//	histtest.samples_<stage>    (partition, learn, sieve, check, test)
+//	histtest.sieve_rounds, histtest.sieve_removed
+type ExpvarSink struct {
+	started, accepted, rejected, failed *expvar.Int
+	samplesTotal                        *expvar.Int
+	samplesByStage                      [numStages]*expvar.Int
+	sieveRounds, sieveRemoved           *expvar.Int
+}
+
+var (
+	expvarOnce sync.Once
+	expvarSink *ExpvarSink
+)
+
+// Expvar returns the process-wide sink, registering its variables on
+// first use (expvar names are global, so the sink is a singleton).
+func Expvar() *ExpvarSink {
+	expvarOnce.Do(func() {
+		s := &ExpvarSink{
+			started:      expvar.NewInt("histtest.runs_started"),
+			accepted:     expvar.NewInt("histtest.runs_accepted"),
+			rejected:     expvar.NewInt("histtest.runs_rejected"),
+			failed:       expvar.NewInt("histtest.runs_failed"),
+			samplesTotal: expvar.NewInt("histtest.samples_total"),
+			sieveRounds:  expvar.NewInt("histtest.sieve_rounds"),
+			sieveRemoved: expvar.NewInt("histtest.sieve_removed"),
+		}
+		for st := Stage(0); st < numStages; st++ {
+			s.samplesByStage[st] = expvar.NewInt(fmt.Sprintf("histtest.samples_%s", st))
+		}
+		expvarSink = s
+	})
+	return expvarSink
+}
+
+// Observe implements Observer (expvar.Int is internally atomic).
+func (s *ExpvarSink) Observe(e Event) {
+	switch e.Kind {
+	case KindRunStart:
+		s.started.Add(1)
+	case KindStageExit:
+		s.samplesByStage[e.Stage].Add(e.Samples)
+	case KindSieveRound:
+		s.sieveRounds.Add(1)
+		s.sieveRemoved.Add(int64(e.Removed))
+	case KindRunEnd:
+		s.samplesTotal.Add(e.Samples)
+		switch {
+		case e.Err != "":
+			s.failed.Add(1)
+		case e.Accept:
+			s.accepted.Add(1)
+		default:
+			s.rejected.Add(1)
+		}
+	}
+}

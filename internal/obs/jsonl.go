@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// jsonEvent is the wire form of an Event: enum fields as names, zero
+// fields omitted, durations in microseconds. The schema is documented in
+// DESIGN.md ("Observability & cancellation").
+type jsonEvent struct {
+	Run       uint64  `json:"run"`
+	Kind      string  `json:"kind"`
+	Stage     string  `json:"stage,omitempty"`
+	ElapsedUS int64   `json:"elapsed_us"`
+	N         int     `json:"n,omitempty"`
+	K         int     `json:"k,omitempty"`
+	Eps       float64 `json:"eps,omitempty"`
+	Samples   int64   `json:"samples,omitempty"`
+	Round     int     `json:"round"`
+	Removed   int     `json:"removed,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	Reps      int     `json:"replicates,omitempty"`
+	Dense     int     `json:"dense_batches,omitempty"`
+	Sparse    int     `json:"sparse_batches,omitempty"`
+	PoolHits  int64   `json:"pool_hits,omitempty"`
+	PoolMiss  int64   `json:"pool_misses,omitempty"`
+	Accept    bool    `json:"accept,omitempty"`
+	Reject    string  `json:"reject_stage,omitempty"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// JSONLines is an Observer that writes one JSON object per event to an
+// io.Writer — the `histbench -trace-json` sink. Writes are serialized by
+// a mutex, so one emitter can absorb concurrent runs; wrap the writer in
+// a bufio.Writer (and flush it when done) for high-rate traces.
+type JSONLines struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLines returns an emitter writing to w.
+func NewJSONLines(w io.Writer) *JSONLines {
+	return &JSONLines{enc: json.NewEncoder(w)}
+}
+
+// Observe implements Observer. Encoding errors are sticky and reported
+// by Err rather than panicking mid-run.
+func (j *JSONLines) Observe(e Event) {
+	we := jsonEvent{
+		Run:       e.Run,
+		Kind:      e.Kind.String(),
+		ElapsedUS: e.Elapsed.Microseconds(),
+		N:         e.N,
+		K:         e.K,
+		Eps:       e.Eps,
+		Samples:   e.Samples,
+		Round:     e.Round,
+		Removed:   e.Removed,
+		Workers:   e.Workers,
+		Reps:      e.Replicates,
+		Dense:     e.Dense,
+		Sparse:    e.Sparse,
+		PoolHits:  e.PoolHits,
+		PoolMiss:  e.PoolMisses,
+		Accept:    e.Accept,
+		Reject:    e.RejectStage,
+		Err:       e.Err,
+	}
+	if e.Kind == KindStageEnter || e.Kind == KindStageExit || e.Kind == KindSieveRound {
+		we.Stage = e.Stage.String()
+	}
+	j.mu.Lock()
+	if err := j.enc.Encode(we); err != nil && j.err == nil {
+		j.err = err
+	}
+	j.mu.Unlock()
+}
+
+// Err returns the first write error encountered, if any.
+func (j *JSONLines) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

@@ -1,0 +1,84 @@
+package obs
+
+import "sync"
+
+// TraceRecorder is an in-memory Observer: it appends every event to a
+// slice. Tests use it to assert stream invariants (sample conservation,
+// cancellation promptness, stage coverage); it is also handy in
+// examples. Safe for concurrent use.
+type TraceRecorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder { return &TraceRecorder{} }
+
+// Observe implements Observer.
+func (t *TraceRecorder) Observe(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of every recorded event, in arrival order.
+func (t *TraceRecorder) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Len returns the number of recorded events.
+func (t *TraceRecorder) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Reset discards all recorded events.
+func (t *TraceRecorder) Reset() {
+	t.mu.Lock()
+	t.events = nil
+	t.mu.Unlock()
+}
+
+// Runs returns the distinct run IDs seen, in first-appearance order.
+func (t *TraceRecorder) Runs() []uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for _, e := range t.events {
+		if !seen[e.Run] {
+			seen[e.Run] = true
+			out = append(out, e.Run)
+		}
+	}
+	return out
+}
+
+// RunEvents returns the events of one run, in order.
+func (t *TraceRecorder) RunEvents(run uint64) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Event
+	for _, e := range t.events {
+		if e.Run == run {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// StageSamples sums the StageExit draw counts of one run per stage. The
+// values sum to the run's total oracle draw count (the conservation
+// invariant).
+func (t *TraceRecorder) StageSamples(run uint64) map[Stage]int64 {
+	out := make(map[Stage]int64, NumStages)
+	for _, e := range t.RunEvents(run) {
+		if e.Kind == KindStageExit {
+			out[e.Stage] += e.Samples
+		}
+	}
+	return out
+}

@@ -80,6 +80,7 @@ func DrawCounts(o Oracle, r *rng.RNG, mean float64) *Counts {
 	}
 	m := r.Poisson(mean)
 	c := acquireCountsSized(o.N(), m)
+	defer releaseOnPanic(c)
 	for i := 0; i < m; i++ {
 		c.add(o.Draw())
 	}

@@ -1,6 +1,9 @@
 package oracle
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Counts buffer pooling.
 //
@@ -39,16 +42,53 @@ var (
 	sparsePool = sync.Pool{New: func() any { return new(Counts) }}
 )
 
+// poolStats are the process-global pool accounting counters behind
+// PoolStatsSnapshot. A hit is an acquire served by a recycled backing of
+// sufficient capacity; a miss had to allocate. Acquires and Releases
+// balance exactly for code that releases every pooled buffer — the
+// leak-detection tests assert that delta-acquires == delta-releases
+// around a tester run (including a cancelled one).
+var poolStats struct {
+	acquires, hits, misses, releases atomic.Int64
+}
+
+// PoolStats is a snapshot of the Counts pool counters.
+type PoolStats struct {
+	// Acquires counts pooled acquisitions (every Draw*Counts call).
+	Acquires int64
+	// Hits are acquires served by a recycled backing; Misses allocated.
+	Hits, Misses int64
+	// Releases counts buffers handed back to the pool. Note Release on a
+	// Counts built by NewCounts/NewDenseCounts/NewSparseCounts also feeds
+	// the pool and counts here, without a matching acquire.
+	Releases int64
+}
+
+// PoolStatsSnapshot returns the current process-global pool counters.
+// Deltas around a serial region attribute exactly; under concurrent runs
+// the attribution is approximate (the totals remain exact).
+func PoolStatsSnapshot() PoolStats {
+	return PoolStats{
+		Acquires: poolStats.acquires.Load(),
+		Hits:     poolStats.hits.Load(),
+		Misses:   poolStats.misses.Load(),
+		Releases: poolStats.releases.Load(),
+	}
+}
+
 // acquireCountsSized returns an empty pooled Counts with the backing
 // chosen for m samples over [0, n) — the pooled counterpart of
 // newCountsSized, with identical representation choice.
 func acquireCountsSized(n, m int) *Counts {
+	poolStats.acquires.Add(1)
 	if useDense(n, m) {
 		c := densePool.Get().(*Counts)
 		if cap(c.dense) >= n {
+			poolStats.hits.Add(1)
 			c.dense = c.dense[:n]
 			clear(c.dense)
 		} else {
+			poolStats.misses.Add(1)
 			c.dense = make([]int32, n)
 		}
 		c.n, c.m, c.distinct, c.total, c.released = n, nil, 0, 0, false
@@ -56,8 +96,10 @@ func acquireCountsSized(n, m int) *Counts {
 	}
 	c := sparsePool.Get().(*Counts)
 	if c.m == nil {
+		poolStats.misses.Add(1)
 		c.m = make(map[int]int, m)
 	} else {
+		poolStats.hits.Add(1)
 		clear(c.m)
 	}
 	c.n, c.dense, c.distinct, c.total, c.released = n, nil, 0, 0, false
@@ -75,9 +117,23 @@ func (c *Counts) Release() {
 	}
 	c.released = true
 	if c.dense != nil {
+		poolStats.releases.Add(1)
 		densePool.Put(c)
 	} else if c.m != nil {
+		poolStats.releases.Add(1)
 		sparsePool.Put(c)
+	}
+}
+
+// releaseOnPanic is deferred by the batch tally loops: when the oracle's
+// Draw panics mid-tally (a Replay running dry, a Source emitting an
+// out-of-range value), the half-filled pooled buffer is handed back
+// before the panic propagates, so recovering callers (histtest's replay
+// path) leak nothing. On a normal return it is a no-op.
+func releaseOnPanic(c *Counts) {
+	if r := recover(); r != nil {
+		c.Release()
+		panic(r)
 	}
 }
 
@@ -91,6 +147,7 @@ func (c *Counts) Release() {
 // owns the result; Release it when the tally has been consumed.
 func DrawNCounts(o Oracle, m int) *Counts {
 	c := acquireCountsSized(o.N(), m)
+	defer releaseOnPanic(c)
 	for i := 0; i < m; i++ {
 		c.add(o.Draw())
 	}
