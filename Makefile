@@ -2,14 +2,31 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-json experiments experiments-quick examples fuzz fuzz-smoke race test-race vet clean
+.PHONY: build test test-short bench bench-json bench-gate experiments experiments-quick examples fuzz fuzz-smoke race test-race vet lint clean
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
-	gofmt -l .
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+# Static analysis beyond go vet: staticcheck plus a known-vulnerability
+# scan, at pinned versions so CI runs are reproducible. Both tools are
+# fetched by `go run`, so this target needs network access (it runs as
+# its own CI job; locally it works wherever the module proxy is
+# reachable).
+STATICCHECK_VERSION ?= v0.5.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 test: vet
 	$(GO) test ./...
@@ -32,6 +49,11 @@ bench:
 # The pre-pooling baseline embedded in cmd/histbench is preserved.
 bench-json:
 	$(GO) run ./cmd/histbench -hotpath-json BENCH_hotpath.json
+
+# CI perf gate: re-measure the hot-path micro-benchmarks and fail when
+# allocs/op regressed more than 10% against the committed report.
+bench-gate:
+	$(GO) run ./cmd/histbench -hotpath-gate BENCH_hotpath.json
 
 # Full-fidelity experiment suite (minutes).
 experiments:

@@ -3,41 +3,21 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
 
 	"repro/internal/benchhot"
+	"repro/internal/cli"
 )
-
-// benchResult is one benchmark line of BENCH_hotpath.json.
-type benchResult struct {
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	Note        string  `json:"note,omitempty"`
-}
-
-// hotpathReport is the schema of BENCH_hotpath.json. Baseline holds the
-// pre-pooling numbers recorded once (PR 2, before the arena/pool work
-// landed) so regeneration via `make bench-json` preserves the reference
-// point the current numbers are compared against.
-type hotpathReport struct {
-	Schema     string                 `json:"schema"`
-	Go         string                 `json:"go"`
-	GOMAXPROCS int                    `json:"gomaxprocs"`
-	Workload   string                 `json:"workload"`
-	Baseline   map[string]benchResult `json:"baseline_pre_pooling"`
-	Results    map[string]benchResult `json:"results"`
-}
 
 // prPooledBaseline is BenchmarkCoreTestHotPath measured on the commit
 // immediately before the scratch-arena/pool refactor. These constants are
 // deliberately frozen in source: the JSON file is regenerated on every
 // `make bench-json`, and the before/after comparison only means something
 // if "before" does not move.
-var prPooledBaseline = map[string]benchResult{
+var prPooledBaseline = map[string]cli.HotpathResult{
 	"BenchmarkCoreTestHotPath": {
 		Iterations:  5,
 		NsPerOp:     954484689,
@@ -47,24 +27,26 @@ var prPooledBaseline = map[string]benchResult{
 	},
 }
 
-func writeHotpathJSON(path string) error {
-	run := func(name string, body func(b *testing.B)) benchResult {
-		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+// measureHotpath runs the hot-path micro-benchmarks and returns a fresh
+// report, logging progress to stderr.
+func measureHotpath(stderr io.Writer) cli.HotpathReport {
+	run := func(name string, body func(b *testing.B)) cli.HotpathResult {
+		fmt.Fprintf(stderr, "running %s...\n", name)
 		r := testing.Benchmark(body)
-		return benchResult{
+		return cli.HotpathResult{
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
 	}
-	rep := hotpathReport{
-		Schema:     "histbench-hotpath/v1",
+	return cli.HotpathReport{
+		Schema:     cli.HotpathSchema,
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workload:   "core.Test on an 8-histogram, n=1e5, k=8, eps=0.8, PracticalConfig, shared Arena + shared alias-table prototype",
 		Baseline:   prPooledBaseline,
-		Results: map[string]benchResult{
+		Results: map[string]cli.HotpathResult{
 			"BenchmarkCoreTestHotPath": run("BenchmarkCoreTestHotPath",
 				func(b *testing.B) { benchhot.CoreTestHotPath(b, 1) }),
 			"BenchmarkCoreTestHotPathParallel": run("BenchmarkCoreTestHotPathParallel",
@@ -73,10 +55,34 @@ func writeHotpathJSON(path string) error {
 				benchhot.DrawCountsPooled),
 		},
 	}
+}
+
+func writeHotpathJSON(path string, stderr io.Writer) error {
+	rep := measureHotpath(stderr)
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	buf = append(buf, '\n')
 	return os.WriteFile(path, buf, 0o644)
+}
+
+// gateHotpath is the CI perf gate: re-measure the hot-path benchmarks
+// and fail when allocs/op regressed more than tolerance against the
+// committed report at path. Returns the number of violations.
+func gateHotpath(path string, tolerance float64, stdout, stderr io.Writer) (int, error) {
+	committed, err := cli.LoadHotpathReport(path)
+	if err != nil {
+		return 0, err
+	}
+	fresh := measureHotpath(stderr)
+	violations := cli.CompareHotpath(committed.Results, fresh.Results, tolerance)
+	for _, v := range violations {
+		fmt.Fprintf(stderr, "histbench: perf gate: %s\n", v)
+	}
+	if len(violations) == 0 {
+		fmt.Fprintf(stdout, "perf gate: %d benchmark(s) within %.0f%% of %s\n",
+			len(committed.Results), tolerance*100, path)
+	}
+	return len(violations), nil
 }

@@ -10,6 +10,11 @@
 //	histbench -run E7 -cpuprofile cpu.out -memprofile mem.out
 //	histbench -run E6 -trace-json trace.jsonl
 //	histbench -hotpath-json BENCH_hotpath.json
+//	histbench -hotpath-gate BENCH_hotpath.json
+//
+// -hotpath-gate re-measures the hot-path micro-benchmarks and exits 1
+// when allocs/op regressed more than -hotpath-tolerance against the
+// committed report (the CI perf gate; see `make bench-gate`).
 //
 // ^C (or SIGTERM) cancels the run: in-flight tester invocations abort at
 // their next context check, pooled buffers are released, and any partial
@@ -21,6 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -34,26 +40,38 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	// The experiment body runs in a helper so its defers — profile
 	// writers, the trace flush — run even on failure exits.
-	os.Exit(run())
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("histbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runIDs     = flag.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
-		quick      = flag.Bool("quick", false, "smaller sweeps and trial counts")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
-		list       = flag.Bool("list", false, "list experiments and exit")
-		verbose    = flag.Bool("v", false, "print progress lines")
-		workers    = flag.Int("workers", 0, "cap concurrency (trial fan-out and sieve replicates); 0 = all cores")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-		hotJSON    = flag.String("hotpath-json", "", "run the hot-path micro-benchmarks and write the results as JSON to this file (skips the experiments)")
-		traceJSON  = flag.String("trace-json", "", "stream per-run stage events as JSON lines to this file (also feeds the expvar counters)")
+		runIDs     = fs.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
+		quick      = fs.Bool("quick", false, "smaller sweeps and trial counts")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		verbose    = fs.Bool("v", false, "print progress lines")
+		workers    = fs.Int("workers", 0, "cap concurrency (trial fan-out and sieve replicates); 0 = all cores")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		hotJSON    = fs.String("hotpath-json", "", "run the hot-path micro-benchmarks and write the results as JSON to this file (skips the experiments)")
+		hotGate    = fs.String("hotpath-gate", "", "re-run the hot-path micro-benchmarks and fail on an allocs/op regression against this committed report (skips the experiments)")
+		hotTol     = fs.Float64("hotpath-tolerance", 0.10, "allowed fractional allocs/op regression for -hotpath-gate")
+		traceJSON  = fs.String("trace-json", "", "stream per-run stage events as JSON lines to this file (also feeds the expvar counters)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "histbench: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
 
 	// Results are deterministic per seed regardless of this cap: all
 	// replicate randomness is pre-split before work is scheduled.
@@ -64,11 +82,11 @@ func run() int {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+			fmt.Fprintf(stderr, "histbench: %v\n", err)
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+			fmt.Fprintf(stderr, "histbench: %v\n", err)
 			return 1
 		}
 		defer func() {
@@ -80,20 +98,31 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+				fmt.Fprintf(stderr, "histbench: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // materialize the live-heap picture
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+				fmt.Fprintf(stderr, "histbench: %v\n", err)
 			}
 		}()
 	}
 
 	if *hotJSON != "" {
-		if err := writeHotpathJSON(*hotJSON); err != nil {
-			fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+		if err := writeHotpathJSON(*hotJSON, stderr); err != nil {
+			fmt.Fprintf(stderr, "histbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *hotGate != "" {
+		violations, err := gateHotpath(*hotGate, *hotTol, stdout, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "histbench: %v\n", err)
+			return 1
+		}
+		if violations > 0 {
 			return 1
 		}
 		return 0
@@ -101,7 +130,7 @@ func run() int {
 
 	if *list {
 		for _, e := range exper.Registry() {
-			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+			fmt.Fprintf(stdout, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
 		return 0
 	}
@@ -114,24 +143,21 @@ func run() int {
 			id = strings.TrimSpace(id)
 			e, ok := exper.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "histbench: unknown experiment %q (use -list)\n", id)
+				fmt.Fprintf(stderr, "histbench: unknown experiment %q (use -list)\n", id)
 				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	rc := exper.RunConfig{Seed: *seed, Quick: *quick, Ctx: ctx}
 	if *verbose {
-		rc.Progress = os.Stderr
+		rc.Progress = stderr
 	}
 	if *traceJSON != "" {
 		f, err := os.Create(*traceJSON)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+			fmt.Fprintf(stderr, "histbench: %v\n", err)
 			return 1
 		}
 		bw := bufio.NewWriter(f)
@@ -140,48 +166,48 @@ func run() int {
 			// Flush whatever was traced, even when an experiment failed or
 			// the run was interrupted — a partial trace is still evidence.
 			if err := jl.Err(); err != nil {
-				fmt.Fprintf(os.Stderr, "histbench: trace: %v\n", err)
+				fmt.Fprintf(stderr, "histbench: trace: %v\n", err)
 			}
 			if err := bw.Flush(); err != nil {
-				fmt.Fprintf(os.Stderr, "histbench: trace: %v\n", err)
+				fmt.Fprintf(stderr, "histbench: trace: %v\n", err)
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "histbench: trace: %v\n", err)
+				fmt.Fprintf(stderr, "histbench: trace: %v\n", err)
 			}
 		}()
 		rc.Observer = obs.Multi(jl, obs.Expvar())
 	}
 
 	for _, e := range selected {
-		fmt.Printf("=== %s: %s ===\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
+		fmt.Fprintf(stdout, "=== %s: %s ===\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
 		tables, err := e.Run(rc)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "histbench: %s failed: %v\n", e.ID, err)
+			fmt.Fprintf(stderr, "histbench: %s failed: %v\n", e.ID, err)
 			return 1
 		}
 		for i, tb := range tables {
-			if err := tb.Render(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "histbench: render: %v\n", err)
+			if err := tb.Render(stdout); err != nil {
+				fmt.Fprintf(stderr, "histbench: render: %v\n", err)
 				return 1
 			}
 			if *csvDir != "" {
 				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+					fmt.Fprintf(stderr, "histbench: %v\n", err)
 					return 1
 				}
 				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i+1)
 				f, err := os.Create(filepath.Join(*csvDir, name))
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+					fmt.Fprintf(stderr, "histbench: %v\n", err)
 					return 1
 				}
 				if err := tb.RenderCSV(f); err != nil {
 					f.Close()
-					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+					fmt.Fprintf(stderr, "histbench: %v\n", err)
 					return 1
 				}
 				if err := f.Close(); err != nil {
-					fmt.Fprintf(os.Stderr, "histbench: %v\n", err)
+					fmt.Fprintf(stderr, "histbench: %v\n", err)
 					return 1
 				}
 			}

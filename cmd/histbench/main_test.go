@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListFlag(t *testing.T) {
+	code, out, _ := runCmd("-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, id := range []string{"E1", "E6", "claim:"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("-list output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"bad flag value", []string{"-workers", "two"}},
+		{"positional args", []string{"stray"}},
+		{"unknown experiment", []string{"-run", "E99"}},
+	}
+	for _, tc := range cases {
+		if code, _, _ := runCmd(tc.args...); code != 2 {
+			t.Errorf("%s: run(%v) = %d, want 2", tc.name, tc.args, code)
+		}
+	}
+}
+
+// TestQuickExperimentWithWorkersAndTrace covers the -workers and
+// -trace-json wiring on the cheapest experiment.
+func TestQuickExperimentWithWorkersAndTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (quick) experiment")
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	code, out, errb := runCmd("-run", "E1", "-quick", "-workers", "2", "-trace-json", trace, "-v")
+	if code != 0 {
+		t.Fatalf("quick E1 exited %d:\n%s", code, errb)
+	}
+	if !strings.Contains(out, "=== E1") {
+		t.Fatalf("missing experiment header:\n%s", out)
+	}
+	if runtime.GOMAXPROCS(0) != 2 {
+		t.Fatalf("-workers 2 did not cap GOMAXPROCS (got %d)", runtime.GOMAXPROCS(0))
+	}
+	payload, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	for _, kind := range []string{`"run-start"`, `"run-end"`} {
+		if !strings.Contains(string(payload), kind) {
+			t.Fatalf("trace missing %s events", kind)
+		}
+	}
+}
+
+// The gate's full measure-and-compare pass takes ~10s of benchmarking, so
+// tests cover the failure plumbing and the comparator is unit-tested in
+// internal/cli; `make bench-gate` exercises the full path.
+func TestHotpathGateBadInputs(t *testing.T) {
+	if code, _, errb := runCmd("-hotpath-gate", "no-such-file.json"); code != 1 || !strings.Contains(errb, "no-such-file.json") {
+		t.Fatalf("missing report: code %d, stderr %q", code, errb)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	payload, _ := json.Marshal(cli.HotpathReport{Schema: "other/v0"})
+	os.WriteFile(bad, payload, 0o644)
+	if code, _, errb := runCmd("-hotpath-gate", bad); code != 1 || !strings.Contains(errb, "schema") {
+		t.Fatalf("bad schema: code %d, stderr %q", code, errb)
+	}
+}

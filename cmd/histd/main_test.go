@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/histtest/client"
+)
+
+// syncBuffer is an io.Writer the server goroutine and the test can share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://\S+)`)
+
+// startHistd runs histd's run() on an ephemeral port and returns its
+// base URL, a stop function (simulating SIGTERM via context
+// cancellation), and the exit-code channel.
+func startHistd(t *testing.T, extraArgs ...string) (string, *syncBuffer, context.CancelFunc, chan int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stderr := &syncBuffer{}
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { exit <- run(ctx, args, io.Discard, stderr) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := listenLine.FindStringSubmatch(stderr.String()); m != nil {
+			return m[1], stderr, cancel, exit
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("histd did not start: %s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeAndGracefulShutdown drives the full binary lifecycle: start,
+// serve a real tester request, drain on the termination signal, exit 0.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	url, stderr, stop, exit := startHistd(t, "-workers", "2", "-queue", "4")
+	c := client.New(url)
+
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	res, err := c.Test(context.Background(), client.TestRequest{
+		Spec: &client.HistogramSpec{N: 100_000, Cuts: []int{25_000, 50_000}, Masses: []float64{0.5, 0.2, 0.3}},
+		K:    8, Eps: 0.8,
+	})
+	if err != nil {
+		t.Fatalf("served request failed: %v", err)
+	}
+	if !res.Accept || res.Trace == nil {
+		t.Fatalf("unexpected verdict %+v", res)
+	}
+
+	stop() // SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("histd exited %d:\n%s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("histd did not exit after the termination signal:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Fatalf("expected a clean drain, got:\n%s", stderr.String())
+	}
+}
+
+// TestTraceJSONFlag: -trace-json streams per-request stage events and
+// flushes them on shutdown.
+func TestTraceJSONFlag(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	url, stderr, stop, exit := startHistd(t, "-trace-json", trace)
+	c := client.New(url)
+
+	if _, err := c.Test(context.Background(), client.TestRequest{
+		Spec: &client.HistogramSpec{N: 100_000, Cuts: []int{25_000, 50_000}, Masses: []float64{0.5, 0.2, 0.3}},
+		K:    8, Eps: 0.8,
+	}); err != nil {
+		t.Fatalf("served request failed: %v", err)
+	}
+
+	stop()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("histd exited %d:\n%s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("histd did not exit:\n%s", stderr.String())
+	}
+
+	payload, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	for _, kind := range []string{`"run-start"`, `"stage-exit"`, `"sieve-round"`, `"run-end"`} {
+		if !strings.Contains(string(payload), kind) {
+			t.Fatalf("trace is missing %s events:\n%s", kind, payload)
+		}
+	}
+}
+
+// TestBadFlags: flag errors exit 2 without starting a listener.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-workers", "two"},
+		{"positional"},
+	} {
+		stderr := &syncBuffer{}
+		if code := run(context.Background(), args, io.Discard, stderr); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}
+
+// TestBadListenAddr: an unusable address is an exit-1 startup failure.
+func TestBadListenAddr(t *testing.T) {
+	stderr := &syncBuffer{}
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:99999"}, io.Discard, stderr); code != 1 {
+		t.Fatalf("run with a bad address = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+}

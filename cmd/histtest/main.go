@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/histtest"
@@ -26,41 +27,55 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main. Exit codes: 0 accept, 1 runtime
+// error, 2 usage error, 3 reject.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("histtest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n        = flag.Int("n", 0, "domain size (values are integers in [0, n))")
-		k        = flag.Int("k", 0, "histogram class parameter (mode=histogram)")
-		eps      = flag.Float64("eps", 0.25, "distance parameter ε")
-		mode     = flag.String("mode", "histogram", "what to test: 'histogram', 'monotone', or 'identity'")
-		dir      = flag.String("dir", "dec", "monotone direction: 'dec' or 'inc' (mode=monotone)")
-		ref      = flag.String("ref", "", "reference histogram JSON file (mode=identity)")
-		file     = flag.String("file", "", "input file (default: stdin)")
-		demo     = flag.String("demo", "", "generate synthetic input instead: 'hist' or 'far'")
-		seed     = flag.Uint64("seed", 1, "tester seed")
-		scale    = flag.Float64("scale", 1, "sample budget multiplier")
-		paper    = flag.Bool("paper", false, "use the literal paper constants (very sample-hungry)")
-		required = flag.Bool("required", false, "print the required sample count and exit")
+		n        = fs.Int("n", 0, "domain size (values are integers in [0, n))")
+		k        = fs.Int("k", 0, "histogram class parameter (mode=histogram)")
+		eps      = fs.Float64("eps", 0.25, "distance parameter ε")
+		mode     = fs.String("mode", "histogram", "what to test: 'histogram', 'monotone', or 'identity'")
+		dir      = fs.String("dir", "dec", "monotone direction: 'dec' or 'inc' (mode=monotone)")
+		ref      = fs.String("ref", "", "reference histogram JSON file (mode=identity)")
+		file     = fs.String("file", "", "input file (default: stdin)")
+		demo     = fs.String("demo", "", "generate synthetic input instead: 'hist' or 'far'")
+		seed     = fs.Uint64("seed", 1, "tester seed")
+		scale    = fs.Float64("scale", 1, "sample budget multiplier")
+		paper    = fs.Bool("paper", false, "use the literal paper constants (very sample-hungry)")
+		required = fs.Bool("required", false, "print the required sample count and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "histtest: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
 	if *n <= 0 {
-		fmt.Fprintln(os.Stderr, "histtest: -n is required and must be positive")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "histtest: -n is required and must be positive")
+		return 2
 	}
 	if *mode == "histogram" && *k <= 0 {
-		fmt.Fprintln(os.Stderr, "histtest: -k is required and must be positive in histogram mode")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "histtest: -k is required and must be positive in histogram mode")
+		return 2
 	}
 	opt := histtest.Options{Seed: *seed, Scale: *scale, Paper: *paper}
 
 	if *required {
 		switch *mode {
 		case "identity":
-			fmt.Printf("required samples for identity over n=%d eps=%.3f: %d\n",
+			fmt.Fprintf(stdout, "required samples for identity over n=%d eps=%.3f: %d\n",
 				*n, *eps, histtest.RequiredIdentitySamples(*n, *eps, opt))
 		default:
-			fmt.Printf("required samples for n=%d k=%d eps=%.3f: %d\n",
+			fmt.Fprintf(stdout, "required samples for n=%d k=%d eps=%.3f: %d\n",
 				*n, *k, *eps, histtest.RequiredSamples(*n, *k, *eps, opt))
 		}
-		return
+		return 0
 	}
 
 	var verdict histtest.Verdict
@@ -76,7 +91,7 @@ func main() {
 		var data []int
 		data, err = cli.ReadValues(*file)
 		if err == nil {
-			fmt.Fprintf(os.Stderr, "read %d values over [0,%d)\n", len(data), *n)
+			fmt.Fprintf(stderr, "read %d values over [0,%d)\n", len(data), *n)
 			verdict, err = histtest.TestSamples(data, *n, *k, *eps, opt)
 		}
 	case "monotone":
@@ -89,8 +104,8 @@ func main() {
 		}
 	case "identity":
 		if *ref == "" {
-			fmt.Fprintln(os.Stderr, "histtest: -ref is required in identity mode")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "histtest: -ref is required in identity mode")
+			return 2
 		}
 		var reference histtest.Histogram
 		var payload []byte
@@ -116,16 +131,16 @@ func main() {
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "histtest: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "histtest: %v\n", err)
+		return 1
 	}
 	if verdict.IsKHistogram {
-		fmt.Printf("ACCEPT: consistent with %s (used %d samples)\n", what, verdict.SamplesUsed)
-		return
+		fmt.Fprintf(stdout, "ACCEPT: consistent with %s (used %d samples)\n", what, verdict.SamplesUsed)
+		return 0
 	}
-	fmt.Printf("REJECT: ε-far from %s (stage %s: %s; used %d samples)\n",
+	fmt.Fprintf(stdout, "REJECT: ε-far from %s (stage %s: %s; used %d samples)\n",
 		what, verdict.Stage, verdict.Detail, verdict.SamplesUsed)
-	os.Exit(3)
+	return 3
 }
 
 // testMonotoneSamples adapts a finite dataset to the monotone tester's

@@ -1,0 +1,186 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServer fails the first fail attempts with status (plus a
+// Retry-After hint) and then succeeds.
+func fakeServer(t *testing.T, fail int, status int, attempts *atomic.Int64) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		if n <= int64(fail) {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(ErrorResponse{Code: ErrCodeOverloaded, Error: "busy"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(TestResult{Accept: true, SamplesUsed: 42})
+	}))
+}
+
+// retryClient returns a client with a tight, test-friendly backoff.
+func retryClient(url string) *Client {
+	c := New(url)
+	c.BaseBackoff = 5 * time.Millisecond
+	c.MaxBackoff = 20 * time.Millisecond // clamps the server's 1s Retry-After hint
+	return c
+}
+
+func TestRetriesOn429(t *testing.T) {
+	var attempts atomic.Int64
+	hs := fakeServer(t, 2, http.StatusTooManyRequests, &attempts)
+	defer hs.Close()
+
+	res, err := retryClient(hs.URL).Test(context.Background(), TestRequest{K: 2, Eps: 0.5})
+	if err != nil {
+		t.Fatalf("expected the retries to succeed, got %v", err)
+	}
+	if !res.Accept || res.SamplesUsed != 42 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestRetriesOn503(t *testing.T) {
+	var attempts atomic.Int64
+	hs := fakeServer(t, 1, http.StatusServiceUnavailable, &attempts)
+	defer hs.Close()
+
+	if _, err := retryClient(hs.URL).Test(context.Background(), TestRequest{K: 2, Eps: 0.5}); err != nil {
+		t.Fatalf("expected the retry to succeed, got %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}
+
+func TestRetryAfterHintIsHonoredButClamped(t *testing.T) {
+	var attempts atomic.Int64
+	hs := fakeServer(t, 1, http.StatusTooManyRequests, &attempts)
+	defer hs.Close()
+
+	start := time.Now()
+	if _, err := retryClient(hs.URL).Test(context.Background(), TestRequest{K: 2, Eps: 0.5}); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+	// The server hinted Retry-After: 1s; MaxBackoff clamps the wait to
+	// 20ms, so the whole call must finish far below a second.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("call took %s; the Retry-After hint was not clamped", elapsed)
+	}
+}
+
+func TestNoRetryOnBadRequest(t *testing.T) {
+	var attempts atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(ErrorResponse{Code: ErrCodeBadRequest, Error: "nope"})
+	}))
+	defer hs.Close()
+
+	_, err := retryClient(hs.URL).Test(context.Background(), TestRequest{})
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("expected an APIError, got %v", err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Code != ErrCodeBadRequest || apiErr.Temporary() {
+		t.Fatalf("unexpected APIError %+v", apiErr)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a non-retryable failure, want 1", got)
+	}
+}
+
+func TestRetriesExhaust(t *testing.T) {
+	var attempts atomic.Int64
+	hs := fakeServer(t, 1000, http.StatusTooManyRequests, &attempts)
+	defer hs.Close()
+
+	c := retryClient(hs.URL)
+	c.MaxRetries = 2
+	_, err := c.Test(context.Background(), TestRequest{K: 2, Eps: 0.5})
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("expected the final 429 to surface, got %v", err)
+	}
+	if got := attempts.Load(); got != 3 { // 1 try + 2 retries
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestContextCancelDuringBackoff(t *testing.T) {
+	var attempts atomic.Int64
+	hs := fakeServer(t, 1000, http.StatusTooManyRequests, &attempts)
+	defer hs.Close()
+
+	c := retryClient(hs.URL)
+	c.BaseBackoff = 10 * time.Second // park the retry loop in its wait
+	c.MaxBackoff = 10 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.Test(ctx, TestRequest{K: 2, Eps: 0.5})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("expected the context to cut the backoff short, got %v", err)
+	}
+}
+
+func TestStreamDecoding(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var batch BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			t.Errorf("decoding batch server-side: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		// Completion order is not request order.
+		for _, i := range []int{2, 0, 1} {
+			enc.Encode(TestResult{Index: i, Accept: i%2 == 0})
+		}
+	}))
+	defer hs.Close()
+
+	got, err := New(hs.URL).TestBatch(context.Background(), make([]TestRequest, 3))
+	if err != nil {
+		t.Fatalf("batch failed: %v", err)
+	}
+	for i, res := range got {
+		if res.Index != i {
+			t.Fatalf("results not sorted by index: %+v", got)
+		}
+		if res.Accept != (i%2 == 0) {
+			t.Fatalf("result %d lost its payload: %+v", i, res)
+		}
+	}
+}
+
+func TestAPIErrorToleratesNonJSONBodies(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprint(w, "upstream exploded")
+	}))
+	defer hs.Close()
+
+	_, err := New(hs.URL).Test(context.Background(), TestRequest{})
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("expected an APIError, got %v", err)
+	}
+	if apiErr.Status != http.StatusBadGateway || apiErr.Message != "upstream exploded" {
+		t.Fatalf("unexpected APIError %+v", apiErr)
+	}
+}

@@ -1,0 +1,89 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// HotpathSchema identifies the BENCH_hotpath.json wire format.
+const HotpathSchema = "histbench-hotpath/v1"
+
+// HotpathResult is one benchmark line of a hot-path report.
+type HotpathResult struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// HotpathReport is the schema of BENCH_hotpath.json. Baseline holds the
+// pre-pooling numbers recorded once (PR 2, before the arena/pool work
+// landed) so regeneration preserves the reference point the current
+// numbers are compared against.
+type HotpathReport struct {
+	Schema     string                   `json:"schema"`
+	Go         string                   `json:"go"`
+	GOMAXPROCS int                      `json:"gomaxprocs"`
+	Workload   string                   `json:"workload"`
+	Baseline   map[string]HotpathResult `json:"baseline_pre_pooling"`
+	Results    map[string]HotpathResult `json:"results"`
+}
+
+// LoadHotpathReport reads and validates a hot-path report file.
+func LoadHotpathReport(path string) (*HotpathReport, error) {
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep HotpathReport
+	if err := json.Unmarshal(payload, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != HotpathSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, HotpathSchema)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &rep, nil
+}
+
+// CompareHotpath gates current benchmark results against a committed
+// baseline: any benchmark whose allocs/op exceeds the baseline by more
+// than tolerance (a fraction, e.g. 0.10 for 10%) is a violation, as is
+// a baseline benchmark missing from current (a silently dropped
+// benchmark must not pass the gate). Benchmarks only in current are
+// ignored — they have no reference yet and start gating once the
+// baseline is regenerated.
+//
+// Allocs/op is the gated metric because it is deterministic per
+// workload: ns/op noise on shared CI runners would make a wall-clock
+// gate flap, but an allocation regression reproduces everywhere.
+func CompareHotpath(baseline, current map[string]HotpathResult, tolerance float64) []string {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var violations []string
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but missing from current results", name))
+			continue
+		}
+		limit := float64(base.AllocsPerOp) * (1 + tolerance)
+		if float64(cur.AllocsPerOp) > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: allocs/op regressed %d -> %d (limit %.1f at %+.0f%% tolerance)",
+					name, base.AllocsPerOp, cur.AllocsPerOp, limit, tolerance*100))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,91 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareHotpathWithinTolerance(t *testing.T) {
+	base := map[string]HotpathResult{"B": {AllocsPerOp: 100}}
+	cur := map[string]HotpathResult{"B": {AllocsPerOp: 110}} // exactly +10%
+	if v := CompareHotpath(base, cur, 0.10); len(v) != 0 {
+		t.Fatalf("+10%% should be within a 10%% tolerance, got %v", v)
+	}
+}
+
+func TestCompareHotpathRegression(t *testing.T) {
+	base := map[string]HotpathResult{"B": {AllocsPerOp: 100}}
+	cur := map[string]HotpathResult{"B": {AllocsPerOp: 111}}
+	v := CompareHotpath(base, cur, 0.10)
+	if len(v) != 1 || !strings.Contains(v[0], "100 -> 111") {
+		t.Fatalf("+11%% should violate a 10%% tolerance, got %v", v)
+	}
+}
+
+func TestCompareHotpathZeroAllocBaseline(t *testing.T) {
+	// A zero-alloc benchmark must stay zero-alloc: tolerance scales the
+	// baseline, so any allocation at all is a regression.
+	base := map[string]HotpathResult{"B": {AllocsPerOp: 0}}
+	if v := CompareHotpath(base, map[string]HotpathResult{"B": {AllocsPerOp: 1}}, 0.10); len(v) != 1 {
+		t.Fatalf("1 alloc against a zero-alloc baseline should violate, got %v", v)
+	}
+	if v := CompareHotpath(base, map[string]HotpathResult{"B": {AllocsPerOp: 0}}, 0.10); len(v) != 0 {
+		t.Fatalf("zero allocs against a zero-alloc baseline should pass, got %v", v)
+	}
+}
+
+func TestCompareHotpathMissingBenchmark(t *testing.T) {
+	base := map[string]HotpathResult{"Gone": {AllocsPerOp: 5}}
+	v := CompareHotpath(base, map[string]HotpathResult{}, 0.10)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("a dropped benchmark must not pass silently, got %v", v)
+	}
+}
+
+func TestCompareHotpathIgnoresNewBenchmarks(t *testing.T) {
+	base := map[string]HotpathResult{"B": {AllocsPerOp: 10}}
+	cur := map[string]HotpathResult{
+		"B":   {AllocsPerOp: 10},
+		"New": {AllocsPerOp: 1 << 20}, // no reference yet; not gated
+	}
+	if v := CompareHotpath(base, cur, 0.10); len(v) != 0 {
+		t.Fatalf("benchmarks without a baseline should not gate, got %v", v)
+	}
+}
+
+func TestLoadHotpathReport(t *testing.T) {
+	dir := t.TempDir()
+
+	good := filepath.Join(dir, "good.json")
+	rep := HotpathReport{
+		Schema:  HotpathSchema,
+		Results: map[string]HotpathResult{"B": {AllocsPerOp: 7}},
+	}
+	payload, _ := json.Marshal(rep)
+	os.WriteFile(good, payload, 0o644)
+	got, err := LoadHotpathReport(good)
+	if err != nil {
+		t.Fatalf("loading a valid report: %v", err)
+	}
+	if got.Results["B"].AllocsPerOp != 7 {
+		t.Fatalf("round-trip lost data: %+v", got)
+	}
+
+	for name, body := range map[string]string{
+		"badschema.json": `{"schema":"other/v9","results":{"B":{}}}`,
+		"empty.json":     `{"schema":"` + HotpathSchema + `","results":{}}`,
+		"garbage.json":   `not json`,
+	} {
+		p := filepath.Join(dir, name)
+		os.WriteFile(p, []byte(body), 0o644)
+		if _, err := LoadHotpathReport(p); err == nil {
+			t.Fatalf("%s should fail to load", name)
+		}
+	}
+	if _, err := LoadHotpathReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("a missing file should fail to load")
+	}
+}

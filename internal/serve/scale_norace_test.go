@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve_test
+
+// raceScale relaxes the wall-clock bounds in the timing-sensitive
+// tests. Without the race detector the calibrated budgets apply as-is.
+const raceScale = 1

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve_test
+
+// raceScale relaxes the wall-clock bounds in the timing-sensitive
+// tests: under the race detector the tester runs several times slower,
+// and every "reacts within one sieve round" bound scales with the
+// sieve-batch duration.
+const raceScale = 8

@@ -1,0 +1,398 @@
+// Package serve implements the histd serving layer: an HTTP/JSON front
+// end over the core tester (repro/internal/core) with a bounded worker
+// pool, admission control, per-request deadlines, and graceful drain.
+//
+// Request lifecycle:
+//
+//	admission (queue slot or 429) → queue → worker (per-worker Arena,
+//	core.TestContext under the request's context) → response
+//
+// Each worker owns one core.Arena for its whole lifetime, so the
+// steady-state serving path inherits the allocation-free hot path of the
+// arena/pool work (PR 2): after the first few requests per worker, a
+// served run performs the same ~10² allocations a direct Arena.Test call
+// does. Cancellation (client disconnect, per-request deadline, drain
+// hard-stop) flows through core.TestContext's cancellation points, so a
+// cancelled run returns within one sieve round and releases every pooled
+// Counts buffer it acquired.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/histtest/client"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// sensible default, applied by New.
+type Config struct {
+	// Workers is the worker-pool size — the number of tester runs
+	// executing concurrently. 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// beyond the ones running. A full queue is the admission-control
+	// signal: further requests get 429 + Retry-After. 0 means 2×Workers.
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline applied when the request
+	// does not set one. 0 means 30s; negative means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied deadlines. 0 means 5m.
+	MaxTimeout time.Duration
+	// RetryAfter is the hint returned with 429/503 responses. 0 means 1s.
+	RetryAfter time.Duration
+	// SieveWorkers caps the WITHIN-request sieve fan-out a request may ask
+	// for (TestRequest.Workers). The serving layer's primary parallelism
+	// is across requests, so this defaults to 1 (serial sieve) — raise it
+	// on latency-sensitive deployments with spare cores.
+	SieveWorkers int
+	// MaxBatch bounds the sub-requests of one /v1/test/stream call.
+	// 0 means 256.
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies. 0 means 1<<26 (64 MiB, roomy
+	// enough for large replay datasets).
+	MaxBodyBytes int64
+	// MaxSamplers bounds the registered-sampler table. 0 means 1024.
+	MaxSamplers int
+	// Observer, when non-nil, receives every served run's stage events
+	// (e.g. an obs.JSONLines sink behind histd's -trace-json flag). The
+	// process-wide obs.Expvar sink is always attached alongside it, so
+	// /debug/vars carries live per-stage counters either way.
+	Observer obs.Observer
+	// MaxSamplesPerRun overrides core.Config.MaxSamples, guarding the
+	// service against requests whose nominal budget is astronomical.
+	// 0 keeps the core default (2³¹).
+	MaxSamplesPerRun int64
+}
+
+// withDefaults resolves the zero-value fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.SieveWorkers <= 0 {
+		c.SieveWorkers = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 26
+	}
+	if c.MaxSamplers <= 0 {
+		c.MaxSamplers = 1024
+	}
+	return c
+}
+
+// errOverloaded is the admission-control rejection; the HTTP layer maps
+// it to 429 + Retry-After.
+var errOverloaded = errors.New("serve: queue full")
+
+// errDraining is the drain rejection; the HTTP layer maps it to 503.
+var errDraining = errors.New("serve: draining")
+
+// job is one admitted tester run traveling from the HTTP handler to a
+// worker and back.
+type job struct {
+	ctx    context.Context
+	spec   *runSpec
+	index  int
+	result chan client.TestResult // buffered(1); the worker always delivers
+}
+
+// Server runs tester requests on a bounded worker pool. Create with New,
+// serve via Handler, stop with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg  Config
+	jobs chan *job
+
+	// slots is the admission semaphore: one token per queueable request.
+	// Tokens are acquired non-blockingly at admission (failure → 429) and
+	// released when a worker dequeues the job, so at most QueueDepth
+	// requests ever wait beyond the Workers running ones. A semaphore —
+	// rather than relying on the jobs channel's capacity — lets the
+	// streaming endpoint reserve a whole batch atomically.
+	slots chan struct{}
+
+	mu       sync.Mutex // guards closed / the jobs channel close
+	closed   bool
+	draining chan struct{} // closed by StartDraining
+	drainOne sync.Once
+
+	hardStop   context.Context // cancelled to abort in-flight runs at drain deadline
+	hardCancel context.CancelFunc
+
+	workerWG sync.WaitGroup
+
+	samplers samplerTable
+}
+
+// New starts a Server's worker pool and returns it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	// obs.Expvar feeds /debug/vars; attaching observers never changes a
+	// run's decision or Trace, so served results stay bit-identical to
+	// direct core.Test calls.
+	cfg.Observer = obs.Multi(cfg.Observer, obs.Expvar())
+	hardStop, hardCancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		jobs:       make(chan *job, cfg.QueueDepth),
+		slots:      make(chan struct{}, cfg.QueueDepth),
+		draining:   make(chan struct{}),
+		hardStop:   hardStop,
+		hardCancel: hardCancel,
+	}
+	s.samplers.init(cfg.MaxSamplers)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Draining reports whether the server has stopped admitting requests.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// StartDraining flips the server into drain mode: /healthz turns 503 and
+// every subsequent admission is rejected with ErrCodeDraining. Queued and
+// in-flight runs are unaffected; call Drain to wait for them.
+func (s *Server) StartDraining() {
+	s.drainOne.Do(func() { close(s.draining) })
+}
+
+// Drain gracefully shuts the pool down: stop admitting, let queued and
+// in-flight runs finish, and return when the pool is idle. If ctx expires
+// first, every outstanding run is hard-cancelled (the cancellation
+// reaches core.TestContext's per-round checks, so workers return within
+// one sieve round) and Drain waits for them before returning ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDraining()
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.jobs)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.hardCancel()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// Close shuts the pool down immediately: in-flight runs are cancelled at
+// their next cancellation point and the pool is waited for.
+func (s *Server) Close() {
+	s.hardCancel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(ctx)
+}
+
+// submit admits one resolved request: a queue slot is acquired
+// non-blockingly (errOverloaded when the queue is full) and the job is
+// enqueued. The caller receives the worker's verdict on job.result.
+func (s *Server) submit(ctx context.Context, spec *runSpec, index int) (*job, error) {
+	if s.Draining() {
+		return nil, errDraining
+	}
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		vars().overloaded.Add(1)
+		return nil, errOverloaded
+	}
+	return s.enqueue(ctx, spec, index), nil
+}
+
+// reserve atomically acquires n queue slots, or none.
+func (s *Server) reserve(n int) bool {
+	for i := 0; i < n; i++ {
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			for ; i > 0; i-- {
+				<-s.slots
+			}
+			vars().overloaded.Add(1)
+			return false
+		}
+	}
+	return true
+}
+
+// enqueue places a job whose slot is already reserved. The jobs channel
+// has the same capacity as the semaphore, so the send cannot block; the
+// mutex serializes it against the close in Drain.
+func (s *Server) enqueue(ctx context.Context, spec *runSpec, index int) *job {
+	j := &job{ctx: ctx, spec: spec, index: index, result: make(chan client.TestResult, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.slots
+		j.result <- errorResult(index, client.ErrCodeDraining, errDraining)
+		return j
+	}
+	vars().queueDepth.Add(1)
+	s.jobs <- j
+	s.mu.Unlock()
+	return j
+}
+
+// worker executes queued jobs until the channel closes. Each worker owns
+// one Arena for its lifetime — the arena/pool reuse that keeps the
+// steady-state serving path allocation-free.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	arena := core.NewArena()
+	for j := range s.jobs {
+		vars().queueDepth.Add(-1)
+		<-s.slots
+		j.result <- s.execute(arena, j)
+	}
+}
+
+// execute runs one job on the given arena, mapping every outcome —
+// verdict, validation failure, replay exhaustion, cancellation — to a
+// wire TestResult.
+func (s *Server) execute(arena *core.Arena, j *job) (res client.TestResult) {
+	start := time.Now()
+	defer func() {
+		res.ElapsedMS = time.Since(start).Milliseconds()
+		switch {
+		case res.Err != "":
+			if res.Code == client.ErrCodeCanceled {
+				vars().runsCanceled.Add(1)
+			} else {
+				vars().runsFailed.Add(1)
+			}
+		case res.Accept:
+			vars().runsAccept.Add(1)
+		default:
+			vars().runsReject.Add(1)
+		}
+	}()
+
+	// The run's context merges the request's (client disconnect,
+	// per-request deadline) with the server's hard-stop (drain deadline):
+	// whichever fires first aborts the run at core.TestContext's next
+	// cancellation point.
+	ctx := j.ctx
+	if sp := j.spec; sp.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sp.timeout)
+		defer cancel()
+	}
+	mctx, mcancel := mergeContexts(ctx, s.hardStop)
+	defer mcancel()
+
+	return runOne(mctx, arena, j.spec, j.index, s.cfg.Observer)
+}
+
+// mergeContexts returns a context cancelled when either parent is.
+func mergeContexts(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// runOne executes the resolved request on the arena. A replay oracle
+// running out of recorded samples panics with oracle.ErrReplayExhausted;
+// that — and only that — panic is translated to ErrCodeNeedMoreSamples,
+// mirroring histtest.TestSamples. Any other panic is a server bug and is
+// contained as ErrCodeInternal rather than killing the pool (the pooled
+// count buffers of a panicking batch are already released by the oracle
+// layer's releaseOnPanic).
+func runOne(ctx context.Context, arena *core.Arena, sp *runSpec, index int, ob obs.Observer) (res client.TestResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == oracle.ErrReplayExhausted {
+				res = errorResult(index, client.ErrCodeNeedMoreSamples,
+					fmt.Errorf("dataset of %d samples exhausted after %d draws; provide more data or lower scale", sp.datasetLen, sp.o.Samples()))
+				return
+			}
+			res = errorResult(index, client.ErrCodeInternal, fmt.Errorf("panic: %v", r))
+		}
+	}()
+
+	cfg := sp.cfg
+	cfg.Observer = ob
+	result, err := arena.TestContext(ctx, sp.o, rng.New(sp.seed), sp.k, sp.eps, cfg)
+	if err != nil {
+		code := client.ErrCodeInternal
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			code = client.ErrCodeCanceled
+		}
+		return errorResult(index, code, err)
+	}
+	tr := result.Trace
+	return client.TestResult{
+		Index:       index,
+		Accept:      result.Accept,
+		SamplesUsed: sp.o.Samples(),
+		Stage:       tr.RejectStage,
+		Detail:      tr.RejectReason,
+		Trace: &client.Trace{
+			N:                tr.N,
+			K:                tr.K,
+			B:                tr.B,
+			SieveRoundsRun:   tr.SieveRoundsRun,
+			PartitionSamples: tr.PartitionSamples,
+			LearnSamples:     tr.LearnSamples,
+			SieveSamples:     tr.SieveSamples,
+			TestSamples:      tr.TestSamples,
+			RemovedHeavy:     tr.RemovedHeavy,
+			HeavySingletons:  tr.HeavySingletons,
+			RemovedRounds:    tr.RemovedRounds,
+			RemovedMass:      tr.RemovedMass,
+			CheckRelaxed:     tr.CheckRelaxed,
+			FinalZ:           tr.FinalZ,
+			FinalThresh:      tr.FinalThresh,
+			RejectStage:      tr.RejectStage,
+			RejectReason:     tr.RejectReason,
+		},
+	}
+}
+
+// errorResult wraps a failure as a wire result.
+func errorResult(index int, code string, err error) client.TestResult {
+	return client.TestResult{Index: index, Err: err.Error(), Code: code}
+}

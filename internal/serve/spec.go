@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/histtest/client"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/intervals"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// runSpec is a TestRequest resolved into the concrete inputs of one
+// core.TestContext call. Resolution happens on the HTTP goroutine at
+// admission time, so malformed requests are rejected with 4xx before
+// they cost a queue slot; everything here is deterministic, making a
+// served run bit-identical to a direct call with the same inputs.
+type runSpec struct {
+	o          oracle.Oracle
+	k          int
+	eps        float64
+	seed       uint64
+	cfg        core.Config
+	timeout    time.Duration
+	datasetLen int // replay requests: the dataset size (error reporting)
+}
+
+// badRequest is a resolution failure carrying its wire error code.
+type badRequest struct {
+	code string
+	msg  string
+}
+
+func (e *badRequest) Error() string { return e.msg }
+
+func badReqf(format string, args ...any) error {
+	return &badRequest{code: client.ErrCodeBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// resolve turns a wire request into a runSpec, validating everything the
+// core tester would reject — plus the serving-layer limits (deadline
+// clamp, sieve fan-out cap).
+func (s *Server) resolve(req *client.TestRequest) (*runSpec, error) {
+	sources := 0
+	if len(req.Samples) > 0 {
+		sources++
+	}
+	if req.Spec != nil {
+		sources++
+	}
+	if req.Sampler != "" {
+		sources++
+	}
+	if sources != 1 {
+		return nil, badReqf("exactly one of samples, spec, sampler must be set (got %d)", sources)
+	}
+	if req.K < 1 {
+		return nil, badReqf("k = %d must be positive", req.K)
+	}
+	if req.Eps <= 0 || req.Eps > 1 {
+		return nil, badReqf("eps = %v must be in (0, 1]", req.Eps)
+	}
+
+	sp := &runSpec{k: req.K, eps: req.Eps, seed: req.Seed}
+	if sp.seed == 0 {
+		sp.seed = 1 // histtest.Options.Seed semantics
+	}
+
+	samplerSeed := req.SamplerSeed
+	if samplerSeed == 0 {
+		samplerSeed = 1
+	}
+
+	switch {
+	case len(req.Samples) > 0:
+		if req.N < 1 {
+			return nil, badReqf("n = %d must be positive with a samples dataset", req.N)
+		}
+		rep, err := oracle.NewReplay(req.N, req.Samples)
+		if err != nil {
+			return nil, badReqf("invalid dataset: %v", err)
+		}
+		sp.o = rep
+		sp.datasetLen = len(req.Samples)
+	case req.Spec != nil:
+		proto, err := buildSampler(req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		if req.N != 0 && req.N != proto.N() {
+			return nil, badReqf("n = %d does not match the spec's domain %d", req.N, proto.N())
+		}
+		sp.o = proto.Fork(rng.New(samplerSeed))
+	default:
+		proto, ok := s.samplers.get(req.Sampler)
+		if !ok {
+			return nil, &badRequest{code: client.ErrCodeUnknownSampler, msg: fmt.Sprintf("sampler %q is not registered", req.Sampler)}
+		}
+		if req.N != 0 && req.N != proto.N() {
+			return nil, badReqf("n = %d does not match sampler %q's domain %d", req.N, req.Sampler, proto.N())
+		}
+		sp.o = proto.Fork(rng.New(samplerSeed))
+	}
+
+	cfg := core.PracticalConfig()
+	if req.Paper {
+		cfg = core.PaperConfig()
+	}
+	if req.Scale > 0 && req.Scale != 1 {
+		cfg = cfg.Scale(req.Scale)
+	}
+	// Within-request sieve fan-out: serial unless the deployment allows
+	// more. Clamping never changes the verdict (Workers is a pure
+	// throughput knob), so clamped requests still match direct runs.
+	cfg.Workers = 1
+	if req.Workers > 1 {
+		cfg.Workers = min(req.Workers, s.cfg.SieveWorkers)
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+	}
+	if s.cfg.MaxSamplesPerRun > 0 {
+		cfg.MaxSamples = s.cfg.MaxSamplesPerRun
+	}
+	sp.cfg = cfg
+
+	switch {
+	case req.TimeoutMS < 0:
+		return nil, badReqf("timeout_ms = %d must not be negative", req.TimeoutMS)
+	case req.TimeoutMS == 0:
+		if s.cfg.DefaultTimeout > 0 {
+			sp.timeout = s.cfg.DefaultTimeout
+		}
+	default:
+		sp.timeout = min(time.Duration(req.TimeoutMS)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	return sp, nil
+}
+
+// buildSampler validates a wire spec and builds the alias-table sampler
+// prototype over it. The prototype's RNG is never drawn from; every run
+// forks it with the request's sampler seed, so concurrent requests share
+// the immutable alias tables (the same prototype-sharing scheme as
+// histtest.Histogram.Sampler).
+func buildSampler(spec *client.HistogramSpec) (*oracle.Sampler, error) {
+	if spec.N < 1 {
+		return nil, badReqf("spec: domain size %d must be positive", spec.N)
+	}
+	for i, c := range spec.Cuts {
+		if c <= 0 || c >= spec.N || (i > 0 && c <= spec.Cuts[i-1]) {
+			return nil, badReqf("spec: cuts must be ascending interior points of (0, %d)", spec.N)
+		}
+	}
+	p := intervals.FromBoundaries(spec.N, spec.Cuts)
+	if p.Count() != len(spec.Masses) {
+		return nil, badReqf("spec: %d masses for %d buckets", len(spec.Masses), p.Count())
+	}
+	total := 0.0
+	for _, m := range spec.Masses {
+		if m < 0 {
+			return nil, badReqf("spec: negative bucket mass %v", m)
+		}
+		total += m
+	}
+	if total <= 0 {
+		return nil, badReqf("spec: zero total mass")
+	}
+	norm := make([]float64, len(spec.Masses))
+	for i, m := range spec.Masses {
+		norm[i] = m / total
+	}
+	pc, err := dist.FromWeights(p, norm)
+	if err != nil {
+		return nil, badReqf("spec: %v", err)
+	}
+	return oracle.NewSampler(pc, rng.New(0)), nil
+}
+
+// samplerTable is the registered-sampler registry: spec → immutable
+// alias-table prototype, forked per request.
+type samplerTable struct {
+	mu    sync.Mutex
+	next  int
+	limit int
+	byID  map[string]*oracle.Sampler
+}
+
+func (t *samplerTable) init(limit int) {
+	t.byID = make(map[string]*oracle.Sampler)
+	t.limit = limit
+}
+
+// register stores a validated prototype and returns its ID.
+func (t *samplerTable) register(proto *oracle.Sampler) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.byID) >= t.limit {
+		return "", badReqf("sampler table full (%d registered)", len(t.byID))
+	}
+	t.next++
+	id := fmt.Sprintf("s%d", t.next)
+	t.byID[id] = proto
+	return id, nil
+}
+
+func (t *samplerTable) get(id string) (*oracle.Sampler, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.byID[id]
+	return p, ok
+}

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"expvar"
+	"sync"
+)
+
+// serverVars are the process-wide serving counters published under the
+// "histd." expvar namespace, alongside the per-stage "histtest."
+// counters of obs.Expvar. expvar names are global, so — like
+// obs.ExpvarSink — the set is a singleton shared by every Server in the
+// process (httptest servers included).
+//
+//	histd.requests          HTTP requests received (all endpoints)
+//	histd.requests_overloaded  admissions pushed back with 429
+//	histd.queue_depth       jobs admitted and waiting for a worker (gauge)
+//	histd.runs_accept / runs_reject  completed verdicts
+//	histd.runs_canceled     runs cut off by cancellation or deadline
+//	histd.runs_failed       runs that errored
+type serverVars struct {
+	requests     *expvar.Int
+	overloaded   *expvar.Int
+	queueDepth   *expvar.Int
+	runsAccept   *expvar.Int
+	runsReject   *expvar.Int
+	runsCanceled *expvar.Int
+	runsFailed   *expvar.Int
+}
+
+var (
+	varsOnce sync.Once
+	varsInst *serverVars
+)
+
+// vars returns the singleton, registering the expvar names on first use.
+func vars() *serverVars {
+	varsOnce.Do(func() {
+		varsInst = &serverVars{
+			requests:     expvar.NewInt("histd.requests"),
+			overloaded:   expvar.NewInt("histd.requests_overloaded"),
+			queueDepth:   expvar.NewInt("histd.queue_depth"),
+			runsAccept:   expvar.NewInt("histd.runs_accept"),
+			runsReject:   expvar.NewInt("histd.runs_reject"),
+			runsCanceled: expvar.NewInt("histd.runs_canceled"),
+			runsFailed:   expvar.NewInt("histd.runs_failed"),
+		}
+	})
+	return varsInst
+}
