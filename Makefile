@@ -51,7 +51,8 @@ bench-json:
 	$(GO) run ./cmd/histbench -hotpath-json BENCH_hotpath.json
 
 # CI perf gate: re-measure the hot-path micro-benchmarks and fail when
-# allocs/op regressed more than 10% against the committed report.
+# allocs/op regressed more than 10% — or ns/op more than 15% — against
+# the committed report, comparing only entries with equal gomaxprocs.
 bench-gate:
 	$(GO) run ./cmd/histbench -hotpath-gate BENCH_hotpath.json
 

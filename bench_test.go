@@ -156,9 +156,19 @@ func BenchmarkCoreTestHotPath(b *testing.B) { benchhot.CoreTestHotPath(b, 1) }
 // replicates fanned out across all cores.
 func BenchmarkCoreTestHotPathParallel(b *testing.B) { benchhot.CoreTestHotPath(b, 0) }
 
+// BenchmarkCoreTestHotPathClosedForm is the serial workload with count
+// vectors synthesized in closed form from the sampler's run structure
+// (oracle.CountClosedForm) instead of drawn sample by sample.
+func BenchmarkCoreTestHotPathClosedForm(b *testing.B) { benchhot.CoreTestHotPathClosedForm(b, 1) }
+
 // BenchmarkDrawCountsPooled measures one pooled Poissonized dense batch
 // draw at n = m = 10⁵ — zero allocations in steady state.
 func BenchmarkDrawCountsPooled(b *testing.B) { benchhot.DrawCountsPooled(b) }
+
+// BenchmarkDrawCountsClosedForm measures the same batch synthesized in
+// O(k + occupied) RNG calls; the ratio to BenchmarkDrawCountsPooled is
+// the per-batch closed-form speedup.
+func BenchmarkDrawCountsClosedForm(b *testing.B) { benchhot.DrawCountsClosedForm(b) }
 
 // TestSieveWorkersBenchmarkDeterminism pins the benchmark's claim that
 // serial and parallel runs decide identically per seed.

@@ -23,14 +23,23 @@ var prPooledBaseline = map[string]cli.HotpathResult{
 		NsPerOp:     954484689,
 		BytesPerOp:  14486099,
 		AllocsPerOp: 1691,
+		GOMAXPROCS:  1,
 		Note:        "pre-pooling baseline, recorded at PR 2 (before arena/pool refactor)",
 	},
 }
 
+// nsGateTolerance is the fractional ns/op regression the perf gate
+// allows between like-for-like (same gomaxprocs) entries. Wider than the
+// allocs/op tolerance because wall clock is noisy on shared runners.
+const nsGateTolerance = 0.15
+
 // measureHotpath runs the hot-path micro-benchmarks and returns a fresh
-// report, logging progress to stderr.
+// report, logging progress to stderr. Each entry records the effective
+// parallelism of its benchmark body (not the process GOMAXPROCS): the
+// serial hot path and the single-batch draws always run one worker, only
+// the Parallel variant fans out.
 func measureHotpath(stderr io.Writer) cli.HotpathReport {
-	run := func(name string, body func(b *testing.B)) cli.HotpathResult {
+	run := func(name string, procs int, body func(b *testing.B)) cli.HotpathResult {
 		fmt.Fprintf(stderr, "running %s...\n", name)
 		r := testing.Benchmark(body)
 		return cli.HotpathResult{
@@ -38,21 +47,25 @@ func measureHotpath(stderr io.Writer) cli.HotpathReport {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+			GOMAXPROCS:  procs,
 		}
 	}
 	return cli.HotpathReport{
-		Schema:     cli.HotpathSchema,
-		Go:         runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workload:   "core.Test on an 8-histogram, n=1e5, k=8, eps=0.8, PracticalConfig, shared Arena + shared alias-table prototype",
-		Baseline:   prPooledBaseline,
+		Schema:   cli.HotpathSchema,
+		Go:       runtime.Version(),
+		Workload: "core.Test on an 8-histogram, n=1e5, k=8, eps=0.8, PracticalConfig, shared Arena + shared alias-table prototype",
+		Baseline: prPooledBaseline,
 		Results: map[string]cli.HotpathResult{
-			"BenchmarkCoreTestHotPath": run("BenchmarkCoreTestHotPath",
+			"BenchmarkCoreTestHotPath": run("BenchmarkCoreTestHotPath", 1,
 				func(b *testing.B) { benchhot.CoreTestHotPath(b, 1) }),
-			"BenchmarkCoreTestHotPathParallel": run("BenchmarkCoreTestHotPathParallel",
+			"BenchmarkCoreTestHotPathParallel": run("BenchmarkCoreTestHotPathParallel", runtime.GOMAXPROCS(0),
 				func(b *testing.B) { benchhot.CoreTestHotPath(b, 0) }),
-			"BenchmarkDrawCountsPooled": run("BenchmarkDrawCountsPooled",
+			"BenchmarkCoreTestHotPathClosedForm": run("BenchmarkCoreTestHotPathClosedForm", 1,
+				func(b *testing.B) { benchhot.CoreTestHotPathClosedForm(b, 1) }),
+			"BenchmarkDrawCountsPooled": run("BenchmarkDrawCountsPooled", 1,
 				benchhot.DrawCountsPooled),
+			"BenchmarkDrawCountsClosedForm": run("BenchmarkDrawCountsClosedForm", 1,
+				benchhot.DrawCountsClosedForm),
 		},
 	}
 }
@@ -68,21 +81,23 @@ func writeHotpathJSON(path string, stderr io.Writer) error {
 }
 
 // gateHotpath is the CI perf gate: re-measure the hot-path benchmarks
-// and fail when allocs/op regressed more than tolerance against the
-// committed report at path. Returns the number of violations.
+// and fail when allocs/op regressed more than tolerance — or ns/op more
+// than nsGateTolerance — against the committed report at path, comparing
+// only entries measured at equal gomaxprocs. Returns the number of
+// violations.
 func gateHotpath(path string, tolerance float64, stdout, stderr io.Writer) (int, error) {
 	committed, err := cli.LoadHotpathReport(path)
 	if err != nil {
 		return 0, err
 	}
 	fresh := measureHotpath(stderr)
-	violations := cli.CompareHotpath(committed.Results, fresh.Results, tolerance)
+	violations := cli.CompareHotpath(committed.Results, fresh.Results, tolerance, nsGateTolerance)
 	for _, v := range violations {
 		fmt.Fprintf(stderr, "histbench: perf gate: %s\n", v)
 	}
 	if len(violations) == 0 {
-		fmt.Fprintf(stdout, "perf gate: %d benchmark(s) within %.0f%% of %s\n",
-			len(committed.Results), tolerance*100, path)
+		fmt.Fprintf(stdout, "perf gate: %d benchmark(s) within %.0f%% allocs / %.0f%% ns of %s\n",
+			len(committed.Results), tolerance*100, nsGateTolerance*100, path)
 	}
 	return len(violations), nil
 }

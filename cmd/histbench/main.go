@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/exper"
 	"repro/internal/obs"
+	"repro/internal/oracle"
 )
 
 func main() {
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		hotJSON    = fs.String("hotpath-json", "", "run the hot-path micro-benchmarks and write the results as JSON to this file (skips the experiments)")
 		hotGate    = fs.String("hotpath-gate", "", "re-run the hot-path micro-benchmarks and fail on an allocs/op regression against this committed report (skips the experiments)")
 		hotTol     = fs.Float64("hotpath-tolerance", 0.10, "allowed fractional allocs/op regression for -hotpath-gate")
+		countStrat = fs.String("count-strategy", "", "Poissonized count synthesis: 'exact' (default; bit-identical historical streams) or 'closed-form' (O(k+occupied) per batch on known samplers)")
 		traceJSON  = fs.String("trace-json", "", "stream per-run stage events as JSON lines to this file (also feeds the expvar counters)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -150,7 +152,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	rc := exper.RunConfig{Seed: *seed, Quick: *quick, Ctx: ctx}
+	cs, err := oracle.ParseCountStrategy(*countStrat)
+	if err != nil {
+		fmt.Fprintf(stderr, "histbench: %v\n", err)
+		return 2
+	}
+	rc := exper.RunConfig{Seed: *seed, Quick: *quick, Ctx: ctx, CountStrategy: cs}
 	if *verbose {
 		rc.Progress = stderr
 	}

@@ -57,6 +57,14 @@ type TestRequest struct {
 	// (0 means serial). The server caps it at its -sieve-workers limit;
 	// the verdict is identical for every value.
 	Workers int `json:"workers,omitempty"`
+	// CountStrategy selects how Poissonized count vectors are
+	// synthesized: "" or "exact" draws every sample individually (the
+	// default, bit-identical to historical runs), "closed-form"
+	// synthesizes counts from the sampler's run structure in
+	// O(k + occupied) RNG calls per batch. Spec/Sampler sources only;
+	// replay datasets always use the exact path (samples are data, not
+	// randomness), so closed-form silently falls back there.
+	CountStrategy string `json:"count_strategy,omitempty"`
 	// TimeoutMS caps the request's server-side wall clock; on expiry the
 	// run is cancelled at the tester's next cancellation point. 0 means
 	// the server default; the server clamps it to its maximum.

@@ -38,12 +38,25 @@ func EightHistogram(n int) *dist.PiecewiseConstant {
 // iteration. With -benchmem the allocs/op figure is the headline number
 // BENCH_hotpath.json tracks.
 func CoreTestHotPath(b *testing.B, workers int) {
+	coreTestHotPath(b, workers, oracle.CountExact)
+}
+
+// CoreTestHotPathClosedForm is the same workload with the count vectors
+// synthesized from the sampler's run structure (oracle.CountClosedForm)
+// instead of drawn sample by sample — the BENCH_hotpath.json entry that
+// pins the closed-form speedup.
+func CoreTestHotPathClosedForm(b *testing.B, workers int) {
+	coreTestHotPath(b, workers, oracle.CountClosedForm)
+}
+
+func coreTestHotPath(b *testing.B, workers int, cs oracle.CountStrategy) {
 	const n, k = 100_000, 8
 	const eps = 0.8
 	cfg := core.PracticalConfig()
 	cfg.SieveReps = 0 // derive Θ(log k) replicates as the paper does
 	cfg.Workers = workers
 	cfg.MaxSamples = 1 << 33
+	cfg.CountStrategy = cs
 	proto := oracle.NewSampler(EightHistogram(n), rng.New(0))
 	arena := core.NewArena()
 	b.ReportAllocs()
@@ -72,6 +85,30 @@ func DrawCountsPooled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := oracle.DrawCounts(s, r, n)
+		if c.Total() < 0 {
+			b.Fatal("impossible")
+		}
+		c.Release()
+	}
+}
+
+// DrawCountsClosedForm measures one closed-form Poissonized batch at the
+// sieve's production scale: mean m = 20n = 2·10⁶, the regime where the
+// CoreTestHotPath workload actually spends its time (PracticalConfig
+// puts the per-round sieve mean at ≈23n). Closed-form cost is
+// O(k + Σ min(t_j, width_j)) <= O(k + n) — independent of m — while the
+// per-draw path scales linearly in m, so compare this against 20×
+// DrawCountsPooled's ns/op. (At m = n the two paths cost about the same
+// and the synthesis has nothing to save; the win is m >> n.)
+func DrawCountsClosedForm(b *testing.B) {
+	const n = 100_000
+	const mean = 20 * n
+	s := oracle.NewSampler(EightHistogram(n), rng.New(1))
+	r := rng.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := oracle.DrawCountsWith(s, r, mean, oracle.CountClosedForm)
 		if c.Total() < 0 {
 			b.Fatal("impossible")
 		}

@@ -244,10 +244,20 @@ type Result struct {
 // dχ²(D‖D*) <= ε²/500 restricted to g it accepts w.p. >= 2/3; if
 // dTV(D,D*) >= ε restricted to g it rejects w.p. >= 2/3.
 func Test(o oracle.Oracle, r *rng.RNG, dstar dist.Distribution, g *intervals.Domain, eps float64, params Params) Result {
+	return TestWith(o, r, dstar, g, eps, params, oracle.CountExact)
+}
+
+// TestWith is Test with an explicit count-synthesis strategy for the
+// Poissonized batch: oracle.CountExact draws per sample (Test verbatim);
+// oracle.CountClosedForm synthesizes the count vector from a known
+// sampler's run structure (falling back to exact for oracles without the
+// capability). The statistic, threshold, and guarantees are unchanged —
+// only how the counts are materialized.
+func TestWith(o oracle.Oracle, r *rng.RNG, dstar dist.Distribution, g *intervals.Domain, eps float64, params Params, cs oracle.CountStrategy) Result {
 	n := dstar.N()
 	m := params.SampleMean(n, eps)
 	tau := params.Threshold(n, eps)
-	counts := oracle.DrawCounts(o, r, m)
+	counts := oracle.DrawCountsWith(o, r, m, cs)
 	defer counts.Release()
 	z := ZDomain(counts, dstar, g, m, tau)
 	drawn := counts.Total()

@@ -8,7 +8,15 @@ import (
 )
 
 // HotpathSchema identifies the BENCH_hotpath.json wire format.
-const HotpathSchema = "histbench-hotpath/v1"
+//
+// v2 moves gomaxprocs from the report header to each result entry: the
+// v1 report recorded one process-wide value, which made the parallel
+// benchmark's numbers unreadable (a file regenerated under GOMAXPROCS=1
+// showed the "parallel" hot path at serial speed with nothing marking it
+// as degenerate). With per-entry values the gate can refuse to compare
+// measurements taken at different parallelism instead of flagging a
+// phantom regression — or worse, blessing a real one.
+const HotpathSchema = "histbench-hotpath/v2"
 
 // HotpathResult is one benchmark line of a hot-path report.
 type HotpathResult struct {
@@ -16,7 +24,12 @@ type HotpathResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
-	Note        string  `json:"note,omitempty"`
+	// GOMAXPROCS is the parallelism the entry was measured at (the
+	// effective worker fan-out of the benchmark body, 1 for serial
+	// benchmarks regardless of the process setting). The gate only
+	// compares entries measured at equal parallelism.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note,omitempty"`
 }
 
 // HotpathReport is the schema of BENCH_hotpath.json. Baseline holds the
@@ -24,12 +37,11 @@ type HotpathResult struct {
 // landed) so regeneration preserves the reference point the current
 // numbers are compared against.
 type HotpathReport struct {
-	Schema     string                   `json:"schema"`
-	Go         string                   `json:"go"`
-	GOMAXPROCS int                      `json:"gomaxprocs"`
-	Workload   string                   `json:"workload"`
-	Baseline   map[string]HotpathResult `json:"baseline_pre_pooling"`
-	Results    map[string]HotpathResult `json:"results"`
+	Schema   string                   `json:"schema"`
+	Go       string                   `json:"go"`
+	Workload string                   `json:"workload"`
+	Baseline map[string]HotpathResult `json:"baseline_pre_pooling"`
+	Results  map[string]HotpathResult `json:"results"`
 }
 
 // LoadHotpathReport reads and validates a hot-path report file.
@@ -52,17 +64,26 @@ func LoadHotpathReport(path string) (*HotpathReport, error) {
 }
 
 // CompareHotpath gates current benchmark results against a committed
-// baseline: any benchmark whose allocs/op exceeds the baseline by more
-// than tolerance (a fraction, e.g. 0.10 for 10%) is a violation, as is
-// a baseline benchmark missing from current (a silently dropped
-// benchmark must not pass the gate). Benchmarks only in current are
-// ignored — they have no reference yet and start gating once the
-// baseline is regenerated.
+// baseline. A baseline benchmark missing from current is always a
+// violation (a silently dropped benchmark must not pass the gate).
+// Benchmarks only in current are ignored — they have no reference yet
+// and start gating once the baseline is regenerated.
 //
-// Allocs/op is the gated metric because it is deterministic per
-// workload: ns/op noise on shared CI runners would make a wall-clock
-// gate flap, but an allocation regression reproduces everywhere.
-func CompareHotpath(baseline, current map[string]HotpathResult, tolerance float64) []string {
+// Two metrics gate, both as fractional tolerances (0.10 = +10%):
+//
+//   - allocs/op against allocTolerance. Allocation counts are
+//     deterministic per workload, so this reproduces everywhere.
+//   - ns/op against nsTolerance (disabled when nsTolerance <= 0).
+//     Wall clock is noisier, so its tolerance should be wider (the CI
+//     gate uses 15%).
+//
+// Both comparisons require the entries' GOMAXPROCS to match: numbers
+// measured at different parallelism are not comparable (a serial re-run
+// of a parallel baseline would always "regress", and a parallel re-run
+// of a serial baseline would mask real regressions). Mismatched entries
+// are skipped, not violated — regenerate the committed report to adopt
+// the new parallelism as the reference.
+func CompareHotpath(baseline, current map[string]HotpathResult, allocTolerance, nsTolerance float64) []string {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
 		names = append(names, name)
@@ -78,11 +99,22 @@ func CompareHotpath(baseline, current map[string]HotpathResult, tolerance float6
 				fmt.Sprintf("%s: present in baseline but missing from current results", name))
 			continue
 		}
-		limit := float64(base.AllocsPerOp) * (1 + tolerance)
-		if float64(cur.AllocsPerOp) > limit {
+		if base.GOMAXPROCS != cur.GOMAXPROCS {
+			continue // not like-for-like; no comparison is meaningful
+		}
+		allocLimit := float64(base.AllocsPerOp) * (1 + allocTolerance)
+		if float64(cur.AllocsPerOp) > allocLimit {
 			violations = append(violations,
 				fmt.Sprintf("%s: allocs/op regressed %d -> %d (limit %.1f at %+.0f%% tolerance)",
-					name, base.AllocsPerOp, cur.AllocsPerOp, limit, tolerance*100))
+					name, base.AllocsPerOp, cur.AllocsPerOp, allocLimit, allocTolerance*100))
+		}
+		if nsTolerance > 0 {
+			nsLimit := base.NsPerOp * (1 + nsTolerance)
+			if cur.NsPerOp > nsLimit {
+				violations = append(violations,
+					fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (limit %.0f at %+.0f%% tolerance, gomaxprocs %d)",
+						name, base.NsPerOp, cur.NsPerOp, nsLimit, nsTolerance*100, base.GOMAXPROCS))
+			}
 		}
 	}
 	return violations

@@ -11,7 +11,7 @@ import (
 func TestCompareHotpathWithinTolerance(t *testing.T) {
 	base := map[string]HotpathResult{"B": {AllocsPerOp: 100}}
 	cur := map[string]HotpathResult{"B": {AllocsPerOp: 110}} // exactly +10%
-	if v := CompareHotpath(base, cur, 0.10); len(v) != 0 {
+	if v := CompareHotpath(base, cur, 0.10, 0); len(v) != 0 {
 		t.Fatalf("+10%% should be within a 10%% tolerance, got %v", v)
 	}
 }
@@ -19,7 +19,7 @@ func TestCompareHotpathWithinTolerance(t *testing.T) {
 func TestCompareHotpathRegression(t *testing.T) {
 	base := map[string]HotpathResult{"B": {AllocsPerOp: 100}}
 	cur := map[string]HotpathResult{"B": {AllocsPerOp: 111}}
-	v := CompareHotpath(base, cur, 0.10)
+	v := CompareHotpath(base, cur, 0.10, 0)
 	if len(v) != 1 || !strings.Contains(v[0], "100 -> 111") {
 		t.Fatalf("+11%% should violate a 10%% tolerance, got %v", v)
 	}
@@ -29,17 +29,17 @@ func TestCompareHotpathZeroAllocBaseline(t *testing.T) {
 	// A zero-alloc benchmark must stay zero-alloc: tolerance scales the
 	// baseline, so any allocation at all is a regression.
 	base := map[string]HotpathResult{"B": {AllocsPerOp: 0}}
-	if v := CompareHotpath(base, map[string]HotpathResult{"B": {AllocsPerOp: 1}}, 0.10); len(v) != 1 {
+	if v := CompareHotpath(base, map[string]HotpathResult{"B": {AllocsPerOp: 1}}, 0.10, 0); len(v) != 1 {
 		t.Fatalf("1 alloc against a zero-alloc baseline should violate, got %v", v)
 	}
-	if v := CompareHotpath(base, map[string]HotpathResult{"B": {AllocsPerOp: 0}}, 0.10); len(v) != 0 {
+	if v := CompareHotpath(base, map[string]HotpathResult{"B": {AllocsPerOp: 0}}, 0.10, 0); len(v) != 0 {
 		t.Fatalf("zero allocs against a zero-alloc baseline should pass, got %v", v)
 	}
 }
 
 func TestCompareHotpathMissingBenchmark(t *testing.T) {
 	base := map[string]HotpathResult{"Gone": {AllocsPerOp: 5}}
-	v := CompareHotpath(base, map[string]HotpathResult{}, 0.10)
+	v := CompareHotpath(base, map[string]HotpathResult{}, 0.10, 0.15)
 	if len(v) != 1 || !strings.Contains(v[0], "missing") {
 		t.Fatalf("a dropped benchmark must not pass silently, got %v", v)
 	}
@@ -51,8 +51,40 @@ func TestCompareHotpathIgnoresNewBenchmarks(t *testing.T) {
 		"B":   {AllocsPerOp: 10},
 		"New": {AllocsPerOp: 1 << 20}, // no reference yet; not gated
 	}
-	if v := CompareHotpath(base, cur, 0.10); len(v) != 0 {
+	if v := CompareHotpath(base, cur, 0.10, 0.15); len(v) != 0 {
 		t.Fatalf("benchmarks without a baseline should not gate, got %v", v)
+	}
+}
+
+func TestCompareHotpathNsPerOp(t *testing.T) {
+	base := map[string]HotpathResult{"B": {NsPerOp: 1000, GOMAXPROCS: 1}}
+	within := map[string]HotpathResult{"B": {NsPerOp: 1150, GOMAXPROCS: 1}} // exactly +15%
+	if v := CompareHotpath(base, within, 0.10, 0.15); len(v) != 0 {
+		t.Fatalf("+15%% ns/op should be within a 15%% tolerance, got %v", v)
+	}
+	regressed := map[string]HotpathResult{"B": {NsPerOp: 1160, GOMAXPROCS: 1}}
+	v := CompareHotpath(base, regressed, 0.10, 0.15)
+	if len(v) != 1 || !strings.Contains(v[0], "ns/op regressed") {
+		t.Fatalf("+16%% ns/op should violate a 15%% tolerance, got %v", v)
+	}
+	// Disabled when the tolerance is non-positive.
+	if v := CompareHotpath(base, regressed, 0.10, 0); len(v) != 0 {
+		t.Fatalf("ns/op gate should be off at tolerance 0, got %v", v)
+	}
+}
+
+func TestCompareHotpathSkipsMismatchedGOMAXPROCS(t *testing.T) {
+	// A baseline measured at one parallelism must not gate a re-run at
+	// another: neither metric is comparable across the fan-out change.
+	base := map[string]HotpathResult{"B": {NsPerOp: 1000, AllocsPerOp: 10, GOMAXPROCS: 8}}
+	cur := map[string]HotpathResult{"B": {NsPerOp: 8000, AllocsPerOp: 99, GOMAXPROCS: 1}}
+	if v := CompareHotpath(base, cur, 0.10, 0.15); len(v) != 0 {
+		t.Fatalf("mismatched gomaxprocs entries must be skipped, got %v", v)
+	}
+	// Matching entries still gate.
+	cur["B"] = HotpathResult{NsPerOp: 8000, AllocsPerOp: 99, GOMAXPROCS: 8}
+	if v := CompareHotpath(base, cur, 0.10, 0.15); len(v) != 2 {
+		t.Fatalf("matching gomaxprocs should gate both metrics, got %v", v)
 	}
 }
 
@@ -62,7 +94,7 @@ func TestLoadHotpathReport(t *testing.T) {
 	good := filepath.Join(dir, "good.json")
 	rep := HotpathReport{
 		Schema:  HotpathSchema,
-		Results: map[string]HotpathResult{"B": {AllocsPerOp: 7}},
+		Results: map[string]HotpathResult{"B": {AllocsPerOp: 7, GOMAXPROCS: 1}},
 	}
 	payload, _ := json.Marshal(rep)
 	os.WriteFile(good, payload, 0o644)
@@ -70,12 +102,13 @@ func TestLoadHotpathReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading a valid report: %v", err)
 	}
-	if got.Results["B"].AllocsPerOp != 7 {
+	if got.Results["B"].AllocsPerOp != 7 || got.Results["B"].GOMAXPROCS != 1 {
 		t.Fatalf("round-trip lost data: %+v", got)
 	}
 
 	for name, body := range map[string]string{
 		"badschema.json": `{"schema":"other/v9","results":{"B":{}}}`,
+		"v1.json":        `{"schema":"histbench-hotpath/v1","results":{"B":{}}}`,
 		"empty.json":     `{"schema":"` + HotpathSchema + `","results":{}}`,
 		"garbage.json":   `not json`,
 	} {

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/chisq"
 	"repro/internal/obs"
+	"repro/internal/oracle"
 )
 
 // Config carries every constant of Algorithm 1. The paper fixes these in
@@ -91,6 +92,21 @@ type Config struct {
 	// alias-table Sampler); Replay and Source-backed oracles always run
 	// the serial path.
 	Workers int
+
+	// CountStrategy selects how the tester's Poissonized count vectors
+	// (the sieve replicates and the final test batch) are synthesized.
+	// The zero value, oracle.CountExact, draws every sample individually
+	// and keeps the randomness stream bit-identical to always — every
+	// replay oracle, regression pin, and determinism test is untouched.
+	// oracle.CountClosedForm asks a known sampler (oracle.CountDrawer)
+	// for the count vector directly in O(k + occupied) RNG calls per
+	// batch instead of O(m) draws — the fast path for spec/registered-
+	// sampler workloads; counts are distributionally identical, and
+	// per-seed decisions differ while operating characteristics agree
+	// (see DESIGN.md "Count generation"). Oracles without the capability
+	// (Replay, Source adapters, Permuted/Conditional wrappers) always
+	// fall back to the exact per-draw path.
+	CountStrategy oracle.CountStrategy
 
 	// SkipCheck disables the Step-10 DP check (the "Checking" stage of
 	// Algorithm 1). ABLATION ONLY: without it the tester loses soundness

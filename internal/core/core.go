@@ -103,11 +103,12 @@ type Arena struct {
 	// cells — to the hot-path closures. obDense/obSparse tally the
 	// current sieve round's counting-path choices; they are atomics
 	// because replicate workers update them concurrently.
-	ob                obs.Observer
-	obRun             uint64
-	obStart           time.Time
-	obDense, obSparse int64
-	obWorkers         int
+	ob                    obs.Observer
+	obRun                 uint64
+	obStart               time.Time
+	obDense, obSparse     int64
+	obExact, obClosedForm int64
+	obWorkers             int
 }
 
 // replicate pairs a forked oracle with its private RNG stream for one
@@ -190,9 +191,28 @@ func (a *Arena) emitRound(o oracle.Oracle, round, removed, reps int, sampMark in
 		Replicates: reps,
 		Dense:      int(atomic.LoadInt64(&a.obDense)),
 		Sparse:     int(atomic.LoadInt64(&a.obSparse)),
+		Exact:      int(atomic.LoadInt64(&a.obExact)),
+		ClosedForm: int(atomic.LoadInt64(&a.obClosedForm)),
 		PoolHits:   ps.Hits - poolMark.Hits,
 		PoolMisses: ps.Misses - poolMark.Misses,
 	})
+}
+
+// obBatch tallies one replicate batch's counting-path (dense/sparse
+// backing) and count-synthesis strategy for the current sieve round.
+// Only called with an observer attached; atomics because replicate
+// workers tally concurrently.
+func (a *Arena) obBatch(counts *oracle.Counts, cs oracle.CountStrategy) {
+	if counts.Dense() {
+		atomic.AddInt64(&a.obDense, 1)
+	} else {
+		atomic.AddInt64(&a.obSparse, 1)
+	}
+	if cs == oracle.CountClosedForm {
+		atomic.AddInt64(&a.obClosedForm, 1)
+	} else {
+		atomic.AddInt64(&a.obExact, 1)
+	}
 }
 
 // fail emits the RunEnd failure event (cancellations included) and
@@ -354,6 +374,12 @@ func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k 
 		forker = f
 	}
 
+	// Resolve the count-synthesis strategy once against the parent oracle:
+	// forks preserve the CountDrawer capability (a Sampler forks to a
+	// Sampler), so the resolution holds for every replicate clone, and the
+	// per-batch observability tallies can attribute without re-asserting.
+	countStrat := oracle.EffectiveStrategy(o, cfg.CountStrategy)
+
 	// computeZs draws fresh Poissonized samples reps times and returns the
 	// per-interval medians (in a.zs, overwritten per call). The replicate
 	// statistic rows, the median column, and the Poissonized count buffers
@@ -367,6 +393,8 @@ func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k 
 		if a.ob != nil {
 			atomic.StoreInt64(&a.obDense, 0)
 			atomic.StoreInt64(&a.obSparse, 0)
+			atomic.StoreInt64(&a.obExact, 0)
+			atomic.StoreInt64(&a.obClosedForm, 0)
 		}
 		a.obWorkers = 1
 		if forker != nil {
@@ -379,13 +407,9 @@ func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k 
 				jobs[t] = replicate{o: forker.Fork(rt), r: rt}
 			}
 			run := func(t int) {
-				counts := oracle.DrawCounts(jobs[t].o, jobs[t].r, mSieve)
+				counts := oracle.DrawCountsWith(jobs[t].o, jobs[t].r, mSieve, countStrat)
 				if a.ob != nil {
-					if counts.Dense() {
-						atomic.AddInt64(&a.obDense, 1)
-					} else {
-						atomic.AddInt64(&a.obSparse, 1)
-					}
+					a.obBatch(counts, countStrat)
 				}
 				med[t] = chisq.ZPerIntervalInto(med[t][:0], counts, dhat, p, g, mSieve, tau)
 				counts.Release()
@@ -433,13 +457,9 @@ func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k 
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
-				counts := oracle.DrawCounts(o, r, mSieve)
+				counts := oracle.DrawCountsWith(o, r, mSieve, countStrat)
 				if a.ob != nil {
-					if counts.Dense() {
-						atomic.AddInt64(&a.obDense, 1)
-					} else {
-						atomic.AddInt64(&a.obSparse, 1)
-					}
+					a.obBatch(counts, countStrat)
 				}
 				med[t] = chisq.ZPerIntervalInto(med[t][:0], counts, dhat, p, g, mSieve, tau)
 				counts.Release()
@@ -604,7 +624,7 @@ func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k 
 		return a.fail(tr.TotalSamples(), err)
 	}
 	a.emit(obs.Event{Kind: obs.KindStageEnter, Stage: obs.StageTest})
-	res := chisq.Test(o, r, dhat, g, cfg.TestEpsFactor*eps, cfg.Chi)
+	res := chisq.TestWith(o, r, dhat, g, cfg.TestEpsFactor*eps, cfg.Chi, countStrat)
 	tr.TestSamples = took()
 	tr.FinalZ = res.Z
 	tr.FinalThresh = res.Threshold

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// TestDefaultStrategyTraceUnchanged pins the zero-value contract of
+// Config.CountStrategy: leaving it unset and setting CountExact
+// explicitly consume identical randomness and produce bit-identical
+// Traces. Every pre-existing seed pin in the suite depends on this.
+func TestDefaultStrategyTraceUnchanged(t *testing.T) {
+	run := func(cfg Config) Trace {
+		s := oracle.NewSampler(threeHistogram(512), rng.New(101))
+		res, err := Test(s, rng.New(102), 3, 0.5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Trace
+	}
+	base := PracticalConfig()
+	explicit := PracticalConfig()
+	explicit.CountStrategy = oracle.CountExact
+	if a, b := run(base), run(explicit); a != b {
+		t.Fatalf("explicit CountExact changed the trace:\ndefault:  %+v\nexplicit: %+v", a, b)
+	}
+}
+
+// TestClosedFormFallbackOnReplay: a replay oracle asked for closed form
+// silently runs the exact path — bit-identical to an exact-config run on
+// the same dataset, because EffectiveStrategy resolves to CountExact
+// before any randomness is consumed.
+func TestClosedFormFallbackOnReplay(t *testing.T) {
+	const n, k = 64, 2
+	const eps = 0.8
+	// Size the dataset off a sampler-backed dry run: the tester's draw
+	// count is decided by its own RNG stream, so a generous multiple
+	// covers any data-dependent variation in sieve rounds.
+	dry := oracle.NewSampler(threeHistogram(n), rng.New(103))
+	if _, err := Test(dry, rng.New(104), k, eps, PracticalConfig()); err != nil {
+		t.Fatal(err)
+	}
+	src := oracle.NewSampler(threeHistogram(n), rng.New(103))
+	dataset := oracle.DrawN(src, int(2*dry.Samples()))
+	run := func(cs oracle.CountStrategy) Trace {
+		rep, err := oracle.NewReplay(n, dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := PracticalConfig()
+		cfg.CountStrategy = cs
+		res, err := Test(rep, rng.New(104), k, eps, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Trace
+	}
+	if a, b := run(oracle.CountExact), run(oracle.CountClosedForm); a != b {
+		t.Fatalf("closed-form on replay diverged from exact:\nexact:       %+v\nclosed-form: %+v", a, b)
+	}
+}
+
+// TestBudgetConservationBothStrategies pins sample accounting end to
+// end: the Trace's stage totals equal the oracle's Samples() counter
+// under both strategies, serial and parallel — including the forked
+// sieve clones, whose draws reach the parent only through Absorb.
+func TestBudgetConservationBothStrategies(t *testing.T) {
+	for _, cs := range []oracle.CountStrategy{oracle.CountExact, oracle.CountClosedForm} {
+		for _, workers := range []int{1, 4} {
+			cfg := PracticalConfig()
+			cfg.CountStrategy = cs
+			cfg.Workers = workers
+			s := oracle.NewSampler(threeHistogram(512), rng.New(105))
+			res, err := Test(s, rng.New(106), 3, 0.5, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := res.Trace.TotalSamples(), s.Samples(); got != want {
+				t.Errorf("%v workers=%d: trace accounts %d samples, oracle drew %d",
+					cs, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestClosedFormWorkersDeterminism: the Workers knob stays a pure
+// throughput knob under closed form — replicate randomness is pre-split
+// before goroutine launch and each replicate's synthesis draws only from
+// its own stream, so serial and parallel runs decide identically.
+func TestClosedFormWorkersDeterminism(t *testing.T) {
+	run := func(workers int) Trace {
+		cfg := PracticalConfig()
+		cfg.CountStrategy = oracle.CountClosedForm
+		cfg.Workers = workers
+		s := oracle.NewSampler(threeHistogram(512), rng.New(107))
+		res, err := Test(s, rng.New(108), 3, 0.5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Trace
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 0} {
+		if got := run(workers); got != serial {
+			t.Fatalf("workers=%d diverged under closed form:\nserial: %+v\ngot:    %+v", workers, serial, got)
+		}
+	}
+}
+
+// TestClosedFormCompleteness: the tester still accepts in-class
+// histograms under closed form. (Per-seed decisions legitimately differ
+// from the exact stream; the operating characteristic is pinned by the
+// exper metamorphic suite.)
+func TestClosedFormCompleteness(t *testing.T) {
+	cfg := PracticalConfig()
+	cfg.CountStrategy = oracle.CountClosedForm
+	accepts := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		s := oracle.NewSampler(threeHistogram(512), rng.New(uint64(200+2*i)))
+		res, err := Test(s, rng.New(uint64(201+2*i)), 3, 0.5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accept {
+			accepts++
+		}
+	}
+	if accepts < 8 {
+		t.Fatalf("closed form accepted %d/%d in-class runs", accepts, trials)
+	}
+}
+
+// TestClosedFormSoundness: and still rejects the far comb.
+func TestClosedFormSoundness(t *testing.T) {
+	cfg := PracticalConfig()
+	cfg.CountStrategy = oracle.CountClosedForm
+	rejects := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		s := oracle.NewSampler(comb(512), rng.New(uint64(300+2*i)))
+		res, err := Test(s, rng.New(uint64(301+2*i)), 3, 0.5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accept {
+			rejects++
+		}
+	}
+	if rejects < 8 {
+		t.Fatalf("closed form rejected only %d/%d far runs", rejects, trials)
+	}
+}
+
+// TestClosedFormCancellationBalancesPool extends the pooled-buffer leak
+// test to the closed-form path: a run cancelled mid-sieve must release
+// every pooled Counts its closed-form batches acquired, serial and
+// parallel alike.
+func TestClosedFormCancellationBalancesPool(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cfg := PracticalConfig()
+		cfg.CountStrategy = oracle.CountClosedForm
+		cfg.Workers = workers
+		cfg.Observer = &cancelOnSieve{cancel: cancel}
+		r := rng.New(109)
+		s := oracle.NewSampler(threeHistogram(512), r)
+		before := oracle.PoolStatsSnapshot()
+		_, err := TestContext(ctx, s, r, 3, 0.5, cfg)
+		after := oracle.PoolStatsSnapshot()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		acq := after.Acquires - before.Acquires
+		rel := after.Releases - before.Releases
+		if acq == 0 {
+			t.Fatalf("workers=%d: no pooled acquisitions before cancellation", workers)
+		}
+		if acq != rel {
+			t.Fatalf("workers=%d: cancelled closed-form run leaked pooled Counts: %d acquired, %d released",
+				workers, acq, rel)
+		}
+	}
+}

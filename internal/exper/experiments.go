@@ -14,6 +14,7 @@ import (
 	"repro/internal/intervals"
 	"repro/internal/lowerbound"
 	"repro/internal/obs"
+	"repro/internal/oracle"
 	"repro/internal/rng"
 )
 
@@ -34,6 +35,13 @@ type RunConfig struct {
 	// Experiments run trials concurrently, so the observer must be
 	// concurrency-safe; the event Run field disambiguates interleavings.
 	Observer obs.Observer
+	// CountStrategy selects the tester's Poissonized count synthesis
+	// (core.Config.CountStrategy): the zero value keeps the exact
+	// per-draw stream, oracle.CountClosedForm is the fast path for the
+	// harness's cached alias samplers. Per-seed decisions differ between
+	// strategies, but operating characteristics (accept rates, minimal
+	// scales) agree — pinned by the metamorphic regression test.
+	CountStrategy oracle.CountStrategy
 }
 
 func (rc RunConfig) rng() *rng.RNG {
@@ -50,10 +58,12 @@ func (rc RunConfig) ctx() context.Context {
 	return context.Background()
 }
 
-// canonne returns the paper's tester with the run's observer attached.
+// canonne returns the paper's tester with the run's observer and count
+// strategy attached.
 func (rc RunConfig) canonne() *baselines.Canonne {
 	t := baselines.NewCanonne()
 	t.Config.Observer = rc.Observer
+	t.Config.CountStrategy = rc.CountStrategy
 	return t
 }
 

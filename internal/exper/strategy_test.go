@@ -1,0 +1,84 @@
+package exper
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/intervals"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// TestCountStrategyOperatingCharacteristic is the metamorphic
+// equivalence pin for the closed-form counting path: per-seed decisions
+// legitimately differ between strategies (different randomness streams),
+// but the operating characteristic must agree — both strategies' accept
+// rates on the E6 workload (n=2048, k=4, ε=0.4, seed 3) must clear the
+// same pinned floors/ceilings as TestE6OperatingCharacteristicRegression
+// (yes >= 0.83, no <= 0.17). A closed-form synthesis that biased the
+// counts — misplaced a run, dropped mass at the dense/sparse boundary,
+// mis-scaled a weight — would shift these rates and fail here, without
+// disturbing the exact-path pin.
+func TestCountStrategyOperatingCharacteristic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical regression is not a -short test")
+	}
+	const (
+		n, k   = 2048, 4
+		eps    = 0.4
+		trials = 12
+		seed   = 3
+	)
+	measure := func(cs oracle.CountStrategy) (float64, float64) {
+		r := rng.New(seed)
+		base := gen.KHistogram(r, n, k)
+		flat := dist.Flatten(base, intervals.EquiWidth(n, 128))
+		tester := RunConfig{CountStrategy: cs}.canonne()
+		rate := func(delta float64) float64 {
+			inst, _ := gen.BlockComb(flat, 64, delta)
+			res, err := AcceptRate(nil, tester, Fixed(inst), k, eps, trials, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Rate
+		}
+		return rate(0), rate(0.6)
+	}
+
+	exYes, exNo := measure(oracle.CountExact)
+	cfYes, cfNo := measure(oracle.CountClosedForm)
+	t.Logf("operating characteristic at seed %d: exact yes=%.3f no=%.3f, closed-form yes=%.3f no=%.3f",
+		seed, exYes, exNo, cfYes, cfNo)
+
+	for _, side := range []struct {
+		name     string
+		yes, no  float64
+		strategy oracle.CountStrategy
+	}{
+		{"exact", exYes, exNo, oracle.CountExact},
+		{"closed-form", cfYes, cfNo, oracle.CountClosedForm},
+	} {
+		if side.yes < 0.83 {
+			t.Errorf("%s completeness: accept rate %.3f at δ=0, pinned floor 0.83", side.name, side.yes)
+		}
+		if side.no > 0.17 {
+			t.Errorf("%s soundness: accept rate %.3f at δ=0.6, pinned ceiling 0.17", side.name, side.no)
+		}
+	}
+
+	// Metamorphic agreement: within the pins the two strategies' rates
+	// may differ by at most the two-trial slack the E6 pin itself allows.
+	const slack = 2.0 / trials
+	if d := exYes - cfYes; d > slack || d < -slack {
+		t.Errorf("completeness rates diverge beyond pin slack: exact %.3f vs closed-form %.3f", exYes, cfYes)
+	}
+	if d := exNo - cfNo; d > slack || d < -slack {
+		t.Errorf("soundness rates diverge beyond pin slack: exact %.3f vs closed-form %.3f", exNo, cfNo)
+	}
+
+	// Closed form must reproduce deterministically at the same seed too.
+	if y2, n2 := measure(oracle.CountClosedForm); y2 != cfYes || n2 != cfNo {
+		t.Errorf("closed-form measurement not deterministic: (%.3f, %.3f) then (%.3f, %.3f)", cfYes, cfNo, y2, n2)
+	}
+}

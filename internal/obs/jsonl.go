@@ -24,6 +24,8 @@ type jsonEvent struct {
 	Reps      int     `json:"replicates,omitempty"`
 	Dense     int     `json:"dense_batches,omitempty"`
 	Sparse    int     `json:"sparse_batches,omitempty"`
+	Exact     int     `json:"exact_batches,omitempty"`
+	Closed    int     `json:"closed_form_batches,omitempty"`
 	PoolHits  int64   `json:"pool_hits,omitempty"`
 	PoolMiss  int64   `json:"pool_misses,omitempty"`
 	Accept    bool    `json:"accept,omitempty"`
@@ -63,6 +65,8 @@ func (j *JSONLines) Observe(e Event) {
 		Reps:      e.Replicates,
 		Dense:     e.Dense,
 		Sparse:    e.Sparse,
+		Exact:     e.Exact,
+		Closed:    e.ClosedForm,
 		PoolHits:  e.PoolHits,
 		PoolMiss:  e.PoolMisses,
 		Accept:    e.Accept,

@@ -139,6 +139,12 @@ type Event struct {
 	// Dense and Sparse count the round's batches by counting path taken
 	// (the m >= n/64 crossover of oracle.Counts).
 	Dense, Sparse int
+	// Exact and ClosedForm count the round's batches by count-synthesis
+	// strategy actually used (oracle.CountStrategy after capability
+	// fallback): Exact batches drew every sample individually,
+	// ClosedForm batches synthesized the count vector from the sampler's
+	// run structure.
+	Exact, ClosedForm int
 	// PoolHits and PoolMisses are the oracle buffer-pool acquire deltas
 	// observed during the round. The pool counters are process-global, so
 	// under concurrent runs the attribution is approximate.

@@ -87,6 +87,99 @@ func DrawCounts(o Oracle, r *rng.RNG, mean float64) *Counts {
 	return c
 }
 
+// CountStrategy selects how Poissonized count vectors are synthesized for
+// oracles backed by a KNOWN sampler.
+type CountStrategy uint8
+
+const (
+	// CountExact draws every sample individually (one alias-table draw
+	// per sample), so the randomness stream — and therefore every replay
+	// oracle, regression pin, and bit-identical-Trace guarantee — is
+	// unchanged. This is the default and the only strategy valid for
+	// replay/Source-backed oracles, whose samples are data, not
+	// randomness.
+	CountExact CountStrategy = iota
+	// CountClosedForm synthesizes the count vector directly from the
+	// Poissonization guarantee: per-element counts of a Poisson(mean)
+	// batch are independent Poisson(mean·p_i), so a known k-histogram
+	// sampler can materialize a batch in O(k + Σ_j min(t_j, width_j))
+	// RNG calls instead of O(m) per-sample draws (see
+	// Sampler.DrawPoissonCountsClosedForm). The counts are
+	// distributionally identical to CountExact but come from a different
+	// randomness stream, so per-seed decisions differ (while operating
+	// characteristics agree; pinned by the equivalence suite). Oracles
+	// without the CountDrawer capability fall back to CountExact.
+	CountClosedForm
+)
+
+// String returns the flag/wire spelling of the strategy.
+func (cs CountStrategy) String() string {
+	switch cs {
+	case CountExact:
+		return "exact"
+	case CountClosedForm:
+		return "closed-form"
+	}
+	return fmt.Sprintf("CountStrategy(%d)", uint8(cs))
+}
+
+// ParseCountStrategy parses the flag/wire spelling of a strategy. The
+// empty string means CountExact (the default everywhere).
+func ParseCountStrategy(s string) (CountStrategy, error) {
+	switch s {
+	case "", "exact":
+		return CountExact, nil
+	case "closed-form", "closed_form", "closedform":
+		return CountClosedForm, nil
+	}
+	return CountExact, fmt.Errorf("oracle: unknown count strategy %q (want \"exact\" or \"closed-form\")", s)
+}
+
+// CountDrawer is an Oracle that can synthesize a Poissonized count vector
+// in closed form, without drawing the underlying samples one at a time.
+// Only oracles that KNOW their distribution (the alias-table Sampler) can
+// implement it; wrappers that reshape the sample stream (Permuted,
+// Conditional) and data-backed oracles (Replay, Source adapters) cannot,
+// and take the per-draw fallback in DrawCountsWith.
+type CountDrawer interface {
+	Oracle
+	// DrawPoissonCountsClosedForm returns a pooled count vector whose
+	// joint distribution is identical to DrawCounts(o, r, mean)'s, while
+	// consuming O(k + occupied) randomness instead of one draw per
+	// sample. The realized total is folded into Samples() exactly, so
+	// budget accounting matches the per-draw path. The caller owns the
+	// Counts; Release it once consumed.
+	DrawPoissonCountsClosedForm(r *rng.RNG, mean float64) *Counts
+}
+
+// EffectiveStrategy resolves the strategy DrawCountsWith will actually
+// use for o: CountClosedForm requires the CountDrawer capability, and
+// every other oracle falls back to CountExact. Forks preserve the
+// capability (a Sampler forks to a Sampler), so a decision made on a
+// parent oracle holds for its clones.
+func EffectiveStrategy(o Oracle, cs CountStrategy) CountStrategy {
+	if cs == CountClosedForm {
+		if _, ok := o.(CountDrawer); ok {
+			return CountClosedForm
+		}
+	}
+	return CountExact
+}
+
+// DrawCountsWith is DrawCounts with an explicit synthesis strategy:
+// CountExact is DrawCounts verbatim; CountClosedForm uses the oracle's
+// CountDrawer capability when present and falls back to the exact
+// per-draw path otherwise (Replay and wrapped oracles). The caller owns
+// the returned Counts; Release it once consumed.
+func DrawCountsWith(o Oracle, r *rng.RNG, mean float64, cs CountStrategy) *Counts {
+	if cs == CountClosedForm {
+		if cd, ok := o.(CountDrawer); ok {
+			return cd.DrawPoissonCountsClosedForm(r, mean)
+		}
+	}
+	return DrawCounts(o, r, mean)
+}
+
 // Sampler samples from a known dist.Distribution using Walker–Vose alias
 // tables built over the distribution's constant runs: a k-histogram costs
 // O(k) setup and O(1) per draw regardless of n.
@@ -97,7 +190,14 @@ type Sampler struct {
 	hi    []int
 	alias []int
 	prob  []float64
+	w     []float64 // normalized run weights (mass_j / total), immutable
 	count int64
+
+	// cfTotals is DrawPoissonCountsClosedForm's per-run total scratch:
+	// lazily grown, private per sampler instance (forks never share it),
+	// so repeated closed-form batches are allocation-free in steady
+	// state.
+	cfTotals []int
 }
 
 var _ Oracle = (*Sampler)(nil)
@@ -127,6 +227,10 @@ func NewSampler(d dist.Distribution, r *rng.RNG) *Sampler {
 	}
 	s := &Sampler{n: n, r: r, lo: lo, hi: hi}
 	s.alias, s.prob = buildAlias(mass, total)
+	s.w = make([]float64, len(mass))
+	for j, m := range mass {
+		s.w[j] = m / total
+	}
 	return s
 }
 
@@ -201,20 +305,88 @@ func (s *Sampler) DrawPoissonCounts(r *rng.RNG, mean float64) *Counts {
 	m := r.Poisson(mean)
 	c := acquireCountsSized(s.n, m)
 	s.count += int64(m)
-	if c.dense != nil {
-		for i := 0; i < m; i++ {
-			v := s.draw()
-			if c.dense[v] == 0 {
-				c.distinct++
-			}
-			c.dense[v]++
+	for i := 0; i < m; i++ {
+		c.bump(s.draw())
+	}
+	return c
+}
+
+// DrawPoissonCountsClosedForm implements CountDrawer: it synthesizes the
+// Poissonized count vector directly from the sampler's known run
+// structure instead of drawing m alias samples. Poissonization factorizes
+// a Poisson(mean) batch into independent per-element counts
+// N_i ~ Poisson(mean·p_i) (Section 2 of the paper), so per constant run j
+// with weight w_j and width_j elements:
+//
+//   - sparse runs (expected count t_j = mean·w_j below the width): draw
+//     the run total Poisson(mean·w_j) from r — one RNG call — and place
+//     each of the t_j samples uniformly, O(t_j) work;
+//   - dense runs (t_j >= width_j): draw each element's count
+//     Poisson(mean·w_j/width_j) directly, O(width_j) work. This is the
+//     exact factorized form of conditionally splitting the run total with
+//     sequential Binomials — identical joint law — at O(1) per element
+//     (PTRS) instead of the O(log) Beta recursion an exact Binomial
+//     costs per split.
+//
+// Total cost is O(k + Σ_j min(t_j, width_j)) RNG calls versus the exact
+// path's O(mean) alias draws. Within-run randomness comes from the
+// sampler's own stream (mirroring the exact path's split between r and
+// the sampler stream). The realized total — distributed Poisson(mean)
+// exactly, as a sum of independent Poissons — is folded into Samples(),
+// so budget accounting stays exact. The Counts comes from the buffer
+// pool; Release it once consumed.
+func (s *Sampler) DrawPoissonCountsClosedForm(r *rng.RNG, mean float64) *Counts {
+	// First pass: realize the sparse-run totals (one Poisson call from r
+	// per run — the closed form's "k RNG calls") so the Counts backing
+	// can be sized on the realized sample size, matching the per-draw
+	// path's dense/sparse crossover. Dense runs synthesize per-element
+	// counts in the second pass; their expectation stands in for sizing.
+	k := len(s.w)
+	if cap(s.cfTotals) < k {
+		s.cfTotals = make([]int, k)
+	}
+	totals := s.cfTotals[:k]
+	size := 0
+	for j := range s.w {
+		width := s.hi[j] - s.lo[j]
+		t := mean * s.w[j]
+		if width > 1 && t >= float64(width) {
+			totals[j] = -1 // dense run: materialized per element below
+			size += int(t)
+			continue
 		}
-	} else {
-		for i := 0; i < m; i++ {
-			c.m[s.draw()]++
+		totals[j] = r.Poisson(t)
+		size += totals[j]
+	}
+	c := acquireCountsSized(s.n, size)
+	drawn := 0
+	for j, tj := range totals {
+		lo, width := s.lo[j], s.hi[j]-s.lo[j]
+		if tj < 0 {
+			// Dense run: independent per-element Poisson thinning.
+			lam := mean * s.w[j] / float64(width)
+			for i := 0; i < width; i++ {
+				if ci := s.r.Poisson(lam); ci > 0 {
+					c.bumpN(lo+i, ci)
+					drawn += ci
+				}
+			}
+			continue
+		}
+		drawn += tj
+		if tj == 0 {
+			continue
+		}
+		if width == 1 {
+			c.bumpN(lo, tj)
+			continue
+		}
+		// Sparse run: uniform placement of the realized total.
+		for i := 0; i < tj; i++ {
+			c.bump(lo + s.r.Intn(width))
 		}
 	}
-	c.total = m
+	s.count += int64(drawn)
 	return c
 }
 
@@ -225,15 +397,19 @@ func (s *Sampler) Samples() int64 { return s.count }
 func (s *Sampler) ResetCount() { s.count = 0 }
 
 // Fork returns an independent sampler over the same distribution, sharing
-// the immutable alias tables but drawing from r with a zeroed counter.
+// the immutable alias tables (and run weights) but drawing from r with a
+// zeroed counter.
 func (s *Sampler) Fork(r *rng.RNG) Oracle {
-	return &Sampler{n: s.n, r: r, lo: s.lo, hi: s.hi, alias: s.alias, prob: s.prob}
+	return &Sampler{n: s.n, r: r, lo: s.lo, hi: s.hi, alias: s.alias, prob: s.prob, w: s.w}
 }
 
 // Absorb folds clone draws back into the sampler's counter.
 func (s *Sampler) Absorb(drawn int64) { s.count += drawn }
 
-var _ Forker = (*Sampler)(nil)
+var (
+	_ Forker      = (*Sampler)(nil)
+	_ CountDrawer = (*Sampler)(nil)
+)
 
 // Permuted wraps an oracle, relabelling samples through a fixed
 // permutation sigma of the domain — the embedding step of the paper's
@@ -449,11 +625,14 @@ func newCountsSized(n, m int) *Counts {
 	return &Counts{n: n, m: make(map[int]int, m)}
 }
 
-// add tallies one sample.
-func (c *Counts) add(v int) {
-	if v < 0 || v >= c.n {
-		panic(fmt.Sprintf("oracle: sample %d outside [0,%d)", v, c.n))
-	}
+// bump tallies one in-range sample. It is the single maintenance point
+// for the dense/sparse backing, the distinct tally, and the running
+// total — every counting path (the generic per-draw loop, the sampler's
+// devirtualized loop, and the closed-form synthesizer) funnels through
+// bump/bumpN, so the two backings cannot drift apart. Callers must
+// guarantee v ∈ [0, n); add wraps bump with the bounds check for
+// arbitrary-oracle inputs.
+func (c *Counts) bump(v int) {
 	if c.dense != nil {
 		if c.dense[v] == 0 {
 			c.distinct++
@@ -463,6 +642,29 @@ func (c *Counts) add(v int) {
 		c.m[v]++
 	}
 	c.total++
+}
+
+// bumpN tallies k occurrences of the in-range element v at once (the
+// closed-form synthesizer's run totals and dense per-element counts).
+func (c *Counts) bumpN(v, k int) {
+	if c.dense != nil {
+		if c.dense[v] == 0 {
+			c.distinct++
+		}
+		c.dense[v] += int32(k)
+	} else {
+		c.m[v] += k
+	}
+	c.total += k
+}
+
+// add tallies one sample, panicking on out-of-range values (arbitrary
+// Source-backed oracles can emit anything).
+func (c *Counts) add(v int) {
+	if v < 0 || v >= c.n {
+		panic(fmt.Sprintf("oracle: sample %d outside [0,%d)", v, c.n))
+	}
+	c.bump(v)
 }
 
 // NewCounts tallies the occurrence of each element in samples, choosing

@@ -88,6 +88,11 @@ func directSpecRun(t *testing.T, req client.TestRequest) (*core.Result, int64) {
 		cfg = cfg.Scale(req.Scale)
 	}
 	cfg.Workers = 1
+	cs, err := oracle.ParseCountStrategy(req.CountStrategy)
+	if err != nil {
+		t.Fatalf("parsing count strategy: %v", err)
+	}
+	cfg.CountStrategy = cs
 	res, err := core.Test(o, rng.New(seed), req.K, req.Eps, cfg)
 	if err != nil {
 		t.Fatalf("direct run failed: %v", err)
@@ -139,6 +144,9 @@ func TestServedBitIdenticalToDirectSpec(t *testing.T) {
 		func(r *client.TestRequest) { r.Seed = 99 },
 		func(r *client.TestRequest) { r.SamplerSeed = 3; r.Eps = 0.7 },
 		func(r *client.TestRequest) { r.Workers = 4 }, // fan-out must not change the verdict
+		func(r *client.TestRequest) { r.CountStrategy = "exact" },
+		func(r *client.TestRequest) { r.CountStrategy = "closed-form" },
+		func(r *client.TestRequest) { r.CountStrategy = "closed-form"; r.Workers = 4 },
 	} {
 		req := fastReq()
 		mut(&req)
@@ -505,6 +513,7 @@ func TestBadRequests(t *testing.T) {
 		{"n mismatch", client.TestRequest{Spec: ptr(fastSpec()), N: 7, K: 4, Eps: 0.5}, 400, client.ErrCodeBadRequest},
 		{"negative timeout", client.TestRequest{Spec: ptr(fastSpec()), K: 4, Eps: 0.5, TimeoutMS: -1}, 400, client.ErrCodeBadRequest},
 		{"dataset too small", client.TestRequest{Samples: []int{0, 1, 2, 3}, N: 64, K: 2, Eps: 0.5}, 422, client.ErrCodeNeedMoreSamples},
+		{"bad count strategy", client.TestRequest{Spec: ptr(fastSpec()), K: 4, Eps: 0.5, CountStrategy: "fast"}, 400, client.ErrCodeBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

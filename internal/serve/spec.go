@@ -125,6 +125,14 @@ func (s *Server) resolve(req *client.TestRequest) (*runSpec, error) {
 	if s.cfg.MaxSamplesPerRun > 0 {
 		cfg.MaxSamples = s.cfg.MaxSamplesPerRun
 	}
+	cs, err := oracle.ParseCountStrategy(req.CountStrategy)
+	if err != nil {
+		return nil, badReqf("%v", err)
+	}
+	// Replay oracles lack the CountDrawer capability, so a closed-form
+	// request over a dataset falls back to the exact path inside the
+	// tester (oracle.EffectiveStrategy) — no error, same verdict law.
+	cfg.CountStrategy = cs
 	sp.cfg = cfg
 
 	switch {
