@@ -153,13 +153,24 @@ func BenchmarkSieveWorkersParallel(b *testing.B) { benchSieveWorkers(b, 0) }
 func BenchmarkCoreTestHotPath(b *testing.B) { benchhot.CoreTestHotPath(b, 1) }
 
 // BenchmarkCoreTestHotPathParallel is the same workload with the sieve
-// replicates fanned out across all cores.
-func BenchmarkCoreTestHotPathParallel(b *testing.B) { benchhot.CoreTestHotPath(b, 0) }
+// replicates fanned out across all cores. The fixed-count Parallel2/4
+// variants mirror the BENCH_hotpath.json entries, which pin the worker
+// count so the numbers are comparable across machines.
+func BenchmarkCoreTestHotPathParallel(b *testing.B)  { benchhot.CoreTestHotPath(b, 0) }
+func BenchmarkCoreTestHotPathParallel2(b *testing.B) { benchhot.CoreTestHotPath(b, 2) }
+func BenchmarkCoreTestHotPathParallel4(b *testing.B) { benchhot.CoreTestHotPath(b, 4) }
 
 // BenchmarkCoreTestHotPathClosedForm is the serial workload with count
 // vectors synthesized in closed form from the sampler's run structure
 // (oracle.CountClosedForm) instead of drawn sample by sample.
 func BenchmarkCoreTestHotPathClosedForm(b *testing.B) { benchhot.CoreTestHotPathClosedForm(b, 1) }
+
+// BenchmarkCoreTestHotPathClosedFormParallel4 combines both engines'
+// speedups: closed-form counting within each replicate, four sieve
+// workers across replicates.
+func BenchmarkCoreTestHotPathClosedFormParallel4(b *testing.B) {
+	benchhot.CoreTestHotPathClosedForm(b, 4)
+}
 
 // BenchmarkDrawCountsPooled measures one pooled Poissonized dense batch
 // draw at n = m = 10⁵ — zero allocations in steady state.

@@ -217,14 +217,20 @@ func (c *Client) retry(ctx context.Context, attempt func() error) error {
 		if err == nil || !ok || !apiErr.Temporary() || tries >= c.maxRetries() {
 			return err
 		}
-		wait := backoff
-		if apiErr.RetryAfter > 0 {
-			wait = apiErr.RetryAfter
+		// A server Retry-After hint overrides the exponential schedule for
+		// this wait and leaves the exponential state untouched: the hint
+		// says nothing about how loaded the server will be next time, and
+		// advancing the exponent on hinted attempts meant a long pushback
+		// streak silently inflated the state so a later hint-less attempt
+		// jumped to an outsized wait. Only hint-less waits double it.
+		wait := apiErr.RetryAfter
+		if wait <= 0 {
+			wait = backoff
+			backoff *= 2
 		}
 		if lim := c.maxBackoff(); wait > lim {
 			wait = lim
 		}
-		backoff *= 2
 		timer := time.NewTimer(wait)
 		select {
 		case <-ctx.Done():
@@ -239,9 +245,7 @@ func (c *Client) retry(ctx context.Context, attempt func() error) error {
 // non-JSON bodies.
 func decodeAPIError(resp *http.Response) *APIError {
 	apiErr := &APIError{Status: resp.StatusCode, Code: ErrCodeInternal}
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		apiErr.RetryAfter = time.Duration(secs) * time.Second
-	}
+	apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var wire ErrorResponse
 	if err := json.Unmarshal(body, &wire); err == nil && wire.Code != "" {
@@ -254,4 +258,29 @@ func decodeAPIError(resp *http.Response) *APIError {
 		}
 	}
 	return apiErr
+}
+
+// parseRetryAfter parses both forms RFC 9110 §10.2.3 allows for the
+// Retry-After header: delay-seconds ("120") and an HTTP-date ("Fri, 07
+// Aug 2026 12:00:00 GMT"). histd itself always sends delay-seconds, but
+// the client may sit behind proxies and gateways that rewrite the header
+// to a date — dropping it there silently degraded hinted waits to the
+// exponential schedule. A date in the past (or an unparsable value)
+// yields 0, i.e. no hint.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

@@ -139,6 +139,87 @@ func TestContextCancelDuringBackoff(t *testing.T) {
 	}
 }
 
+// TestHintedWaitsDoNotInflateBackoff: attempts that waited on a server
+// Retry-After hint must not advance the exponential backoff state. Before
+// the fix, backoff doubled unconditionally, so a streak of hinted
+// pushbacks silently inflated the exponent and the first hint-less wait
+// jumped to an outsized value.
+func TestHintedWaitsDoNotInflateBackoff(t *testing.T) {
+	c := &Client{BaseBackoff: 10 * time.Millisecond, MaxBackoff: time.Minute, MaxRetries: 10}
+	var stamps []time.Time
+	n := 0
+	err := c.retry(context.Background(), func() error {
+		stamps = append(stamps, time.Now())
+		n++
+		switch {
+		case n <= 3:
+			// Hinted pushback: wait 5ms, leave the exponential state alone.
+			return &APIError{Status: http.StatusTooManyRequests, Code: ErrCodeOverloaded, RetryAfter: 5 * time.Millisecond}
+		case n == 4:
+			// First hint-less pushback: must wait BaseBackoff, not
+			// BaseBackoff << 3.
+			return &APIError{Status: http.StatusTooManyRequests, Code: ErrCodeOverloaded}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("attempt ran %d times, want 5", n)
+	}
+	gap := stamps[4].Sub(stamps[3])
+	if gap < 10*time.Millisecond {
+		t.Fatalf("hint-less wait was %s, below BaseBackoff", gap)
+	}
+	// With the inflation bug the wait would be 10ms << 3 = 80ms; allow
+	// generous scheduler slack below that.
+	if gap >= 60*time.Millisecond {
+		t.Fatalf("hint-less wait was %s; hinted attempts inflated the exponential state", gap)
+	}
+}
+
+// TestParseRetryAfter covers both header forms RFC 9110 allows:
+// delay-seconds and HTTP-date (which decodeAPIError used to drop).
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("120"); d != 120*time.Second {
+		t.Fatalf("parseRetryAfter(\"120\") = %s, want 120s", d)
+	}
+	future := time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d <= time.Second || d > 3*time.Second {
+		t.Fatalf("parseRetryAfter(%q) = %s, want a positive sub-3s delay", future, d)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	for _, v := range []string{"", "0", "-5", "soon", past} {
+		if d := parseRetryAfter(v); d != 0 {
+			t.Fatalf("parseRetryAfter(%q) = %s, want 0 (no hint)", v, d)
+		}
+	}
+}
+
+// TestRetryAfterHTTPDateReachesAPIError: the date form survives the full
+// decodeAPIError path, not just the parser.
+func TestRetryAfterHTTPDateReachesAPIError(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(ErrorResponse{Code: ErrCodeDraining, Error: "draining"})
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL)
+	c.MaxRetries = -1 // surface the first pushback instead of retrying
+	_, err := c.Test(context.Background(), TestRequest{K: 2, Eps: 0.5})
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("expected an APIError, got %v", err)
+	}
+	if apiErr.RetryAfter <= 0 || apiErr.RetryAfter > 2*time.Second {
+		t.Fatalf("HTTP-date Retry-After was not decoded: %+v", apiErr)
+	}
+}
+
 func TestStreamDecoding(t *testing.T) {
 	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var batch BatchRequest

@@ -156,6 +156,8 @@ type sourcesOracle struct {
 	mk Sources
 }
 
+func (s *sourcesOracle) CanFork() bool { return true }
+
 func (s *sourcesOracle) Fork(r *rng.RNG) oracle.Oracle {
 	return &sourceOracle{n: s.n, src: s.mk(r.Uint64())}
 }

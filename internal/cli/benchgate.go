@@ -82,15 +82,17 @@ func LoadHotpathReport(path string) (*HotpathReport, error) {
 // of a parallel baseline would always "regress", and a parallel re-run
 // of a serial baseline would mask real regressions). Mismatched entries
 // are skipped, not violated — regenerate the committed report to adopt
-// the new parallelism as the reference.
-func CompareHotpath(baseline, current map[string]HotpathResult, allocTolerance, nsTolerance float64) []string {
+// the new parallelism as the reference. Every skip is REPORTED in the
+// second return value: a silent skip let a regenerated report quietly
+// stop gating a benchmark, so CI logs must show exactly which
+// comparisons did not run and why.
+func CompareHotpath(baseline, current map[string]HotpathResult, allocTolerance, nsTolerance float64) (violations, skipped []string) {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	var violations []string
 	for _, name := range names {
 		base := baseline[name]
 		cur, ok := current[name]
@@ -100,7 +102,12 @@ func CompareHotpath(baseline, current map[string]HotpathResult, allocTolerance, 
 			continue
 		}
 		if base.GOMAXPROCS != cur.GOMAXPROCS {
-			continue // not like-for-like; no comparison is meaningful
+			// Not like-for-like; no comparison is meaningful (typically the
+			// current machine cannot provide the baseline's parallelism).
+			skipped = append(skipped,
+				fmt.Sprintf("%s: skipped — baseline measured at gomaxprocs %d, current at %d; regenerate the report on a machine with matching parallelism to re-arm this gate",
+					name, base.GOMAXPROCS, cur.GOMAXPROCS))
+			continue
 		}
 		allocLimit := float64(base.AllocsPerOp) * (1 + allocTolerance)
 		if float64(cur.AllocsPerOp) > allocLimit {
@@ -117,5 +124,5 @@ func CompareHotpath(baseline, current map[string]HotpathResult, allocTolerance, 
 			}
 		}
 	}
-	return violations
+	return violations, skipped
 }

@@ -57,6 +57,56 @@ func TestArenaReuseMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestForkProbeDoesNotAllocate pins the CanFork satellite: asking "is
+// this oracle forkable?" must be free. The old probe performed (and
+// discarded) a trial Fork with a freshly allocated RNG on EVERY Test
+// call; CanFork is a pure capability answer.
+func TestForkProbeDoesNotAllocate(t *testing.T) {
+	s := oracle.NewSampler(threeHistogram(512), rng.New(1))
+	var f oracle.Forker = s
+	if n := testing.AllocsPerRun(100, func() {
+		if !f.CanFork() {
+			t.Fatal("Sampler must report CanFork")
+		}
+	}); n != 0 {
+		t.Fatalf("CanFork allocates %v objects per call, want 0", n)
+	}
+}
+
+// TestSteadyStateAllocationsBounded guards the arena's allocation-free
+// steady state end to end: warmed-up Test calls must stay under a fixed
+// allocation ceiling, serial and parallel. The ceilings sit a few
+// percent above the measured steady state (107 serial / 119 at four
+// workers), tight enough to catch a reintroduced per-call probe fork or
+// a scratch buffer that stopped being reused, loose enough to tolerate
+// runtime version noise.
+func TestSteadyStateAllocationsBounded(t *testing.T) {
+	d := threeHistogram(2048)
+	cfg := PracticalConfig()
+	cfg.SieveReps = 5
+	for _, tc := range []struct {
+		workers int
+		ceiling float64
+	}{{1, 115}, {4, 130}} {
+		cfg.Workers = tc.workers
+		arena := NewArena()
+		s := oracle.NewSampler(d, rng.New(300))
+		for i := 0; i < 3; i++ {
+			if _, err := arena.Test(s, rng.New(400), 4, 0.8, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := testing.AllocsPerRun(5, func() {
+			if _, err := arena.Test(s, rng.New(400), 4, 0.8, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > tc.ceiling {
+			t.Fatalf("workers=%d: steady-state Test performs %v allocs/op, ceiling %v", tc.workers, got, tc.ceiling)
+		}
+	}
+}
+
 // TestArenaRepeatedIdenticalCalls checks the steadiest state: the same
 // inputs through the same arena many times in a row never drift.
 func TestArenaRepeatedIdenticalCalls(t *testing.T) {

@@ -6,7 +6,6 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/chisq"
@@ -101,14 +100,43 @@ type Arena struct {
 	// allocations. The fields live on the Arena (not in closures) so
 	// attaching an observer adds no captures — and therefore no heap
 	// cells — to the hot-path closures. obDense/obSparse tally the
-	// current sieve round's counting-path choices; they are atomics
-	// because replicate workers update them concurrently.
+	// current sieve round's counting-path choices; they are written only
+	// single-threaded (serial batches tally directly, parallel batches
+	// tally into per-worker obTally slots merged after the join), so no
+	// atomics sit on the batch path.
 	ob                    obs.Observer
 	obRun                 uint64
 	obStart               time.Time
 	obDense, obSparse     int64
 	obExact, obClosedForm int64
 	obWorkers             int
+	obTallies             []obTally // per-worker round tallies (parallel sieve only)
+}
+
+// obTally is one worker's private counting-path tally for the current
+// sieve round. The four counters occupy 32 bytes; the pad keeps each
+// worker's slot on its own 64-byte cache line, so concurrent workers
+// tallying every batch never false-share the way four adjacent atomics
+// on the Arena did.
+type obTally struct {
+	dense, sparse, exact, closedForm int64
+	_                                [32]byte
+}
+
+// batch tallies one replicate batch's counting-path (dense/sparse
+// backing) and count-synthesis strategy. Plain increments: the slot is
+// owned by exactly one worker until the round's join.
+func (t *obTally) batch(counts *oracle.Counts, cs oracle.CountStrategy) {
+	if counts.Dense() {
+		t.dense++
+	} else {
+		t.sparse++
+	}
+	if cs == oracle.CountClosedForm {
+		t.closedForm++
+	} else {
+		t.exact++
+	}
 }
 
 // replicate pairs a forked oracle with its private RNG stream for one
@@ -138,8 +166,15 @@ func (a *Arena) grow(K, reps int) {
 	if cap(a.order) < K {
 		a.order = make([]int, 0, K)
 	}
-	if cap(a.medBuf) < reps*K {
-		a.medBuf = make([]float64, reps*K)
+	// Rows are carved at a cache-line-multiple stride (64 bytes = 8
+	// float64s), not packed back-to-back: packed rows put replicate t's
+	// tail and replicate t+1's head on the same cache line, so two
+	// workers appending statistics false-share at every row boundary.
+	// The padding is pure layout — each row still exposes exactly K
+	// elements of capacity, so nothing downstream changes.
+	stride := (K + 7) &^ 7
+	if cap(a.medBuf) < reps*stride {
+		a.medBuf = make([]float64, reps*stride)
 	}
 	if cap(a.med) < reps {
 		a.med = make([][]float64, reps)
@@ -157,7 +192,7 @@ func (a *Arena) grow(K, reps int) {
 		// Zero-length rows with disjoint capacity windows: each replicate
 		// appends its K statistics into its own region, so the parallel
 		// sieve writes never alias.
-		a.med[t] = a.medBuf[t*K : t*K : (t+1)*K]
+		a.med[t] = a.medBuf[t*stride : t*stride : t*stride+K]
 	}
 }
 
@@ -189,10 +224,10 @@ func (a *Arena) emitRound(o oracle.Oracle, round, removed, reps int, sampMark in
 		Samples:    o.Samples() - sampMark,
 		Workers:    a.obWorkers,
 		Replicates: reps,
-		Dense:      int(atomic.LoadInt64(&a.obDense)),
-		Sparse:     int(atomic.LoadInt64(&a.obSparse)),
-		Exact:      int(atomic.LoadInt64(&a.obExact)),
-		ClosedForm: int(atomic.LoadInt64(&a.obClosedForm)),
+		Dense:      int(a.obDense),
+		Sparse:     int(a.obSparse),
+		Exact:      int(a.obExact),
+		ClosedForm: int(a.obClosedForm),
 		PoolHits:   ps.Hits - poolMark.Hits,
 		PoolMisses: ps.Misses - poolMark.Misses,
 	})
@@ -200,18 +235,19 @@ func (a *Arena) emitRound(o oracle.Oracle, round, removed, reps int, sampMark in
 
 // obBatch tallies one replicate batch's counting-path (dense/sparse
 // backing) and count-synthesis strategy for the current sieve round.
-// Only called with an observer attached; atomics because replicate
-// workers tally concurrently.
+// Only called with an observer attached, and only from single-threaded
+// batch loops — parallel workers tally into their private obTally slot
+// instead, merged after the round's join.
 func (a *Arena) obBatch(counts *oracle.Counts, cs oracle.CountStrategy) {
 	if counts.Dense() {
-		atomic.AddInt64(&a.obDense, 1)
+		a.obDense++
 	} else {
-		atomic.AddInt64(&a.obSparse, 1)
+		a.obSparse++
 	}
 	if cs == oracle.CountClosedForm {
-		atomic.AddInt64(&a.obClosedForm, 1)
+		a.obClosedForm++
 	} else {
-		atomic.AddInt64(&a.obExact, 1)
+		a.obExact++
 	}
 }
 
@@ -370,7 +406,7 @@ func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k 
 	// for every Workers value.
 	workers := cfg.workers()
 	var forker oracle.Forker
-	if f, ok := o.(oracle.Forker); ok && reps > 1 && f.Fork(rng.New(0)) != nil {
+	if f, ok := o.(oracle.Forker); ok && reps > 1 && f.CanFork() {
 		forker = f
 	}
 
@@ -391,10 +427,8 @@ func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k 
 		g := domain()
 		med := a.med
 		if a.ob != nil {
-			atomic.StoreInt64(&a.obDense, 0)
-			atomic.StoreInt64(&a.obSparse, 0)
-			atomic.StoreInt64(&a.obExact, 0)
-			atomic.StoreInt64(&a.obClosedForm, 0)
+			a.obDense, a.obSparse = 0, 0
+			a.obExact, a.obClosedForm = 0, 0
 		}
 		a.obWorkers = 1
 		if forker != nil {
@@ -406,9 +440,14 @@ func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k 
 				r.SplitInto(rt)
 				jobs[t] = replicate{o: forker.Fork(rt), r: rt}
 			}
-			run := func(t int) {
+			// tally is nil on the serial path (obBatch bumps the Arena
+			// fields directly) and a worker-private padded slot on the
+			// parallel path.
+			run := func(t int, tally *obTally) {
 				counts := oracle.DrawCountsWith(jobs[t].o, jobs[t].r, mSieve, countStrat)
-				if a.ob != nil {
+				if tally != nil {
+					tally.batch(counts, countStrat)
+				} else if a.ob != nil {
 					a.obBatch(counts, countStrat)
 				}
 				med[t] = chisq.ZPerIntervalInto(med[t][:0], counts, dhat, p, g, mSieve, tau)
@@ -420,27 +459,61 @@ func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k 
 					if runErr = ctx.Err(); runErr != nil {
 						break
 					}
-					run(t)
+					run(t, nil)
 				}
 			} else {
 				a.obWorkers = w
+				var tallies []obTally
+				if a.ob != nil {
+					if cap(a.obTallies) < w {
+						a.obTallies = make([]obTally, w)
+					}
+					tallies = a.obTallies[:w]
+					for i := range tallies {
+						tallies[i] = obTally{}
+					}
+				}
+				// Deterministic chunked assignment: worker i owns the
+				// contiguous replicate range [i·chunk, (i+1)·chunk). The old
+				// shared atomic claim counter cost one contended CAS per
+				// replicate and bounced its cache line across every worker;
+				// chunking removes the shared word entirely. Claim order was
+				// never what made the sieve deterministic — each replicate's
+				// RNG stream is split from r sequentially before any
+				// goroutine launches — so assignment shape is free to choose
+				// for locality: adjacent replicates (adjacent med rows) stay
+				// on the same worker.
+				chunk := (reps + w - 1) / w
 				var wg sync.WaitGroup
-				next := int64(-1)
 				for i := 0; i < w; i++ {
+					lo := i * chunk
+					hi := min(lo+chunk, reps)
+					if lo >= hi {
+						break
+					}
+					var tally *obTally
+					if tallies != nil {
+						tally = &tallies[i]
+					}
 					wg.Add(1)
 					go func() {
 						defer wg.Done()
-						for {
-							t := int(atomic.AddInt64(&next, 1))
-							if t >= reps || ctx.Err() != nil {
+						for t := lo; t < hi; t++ {
+							if ctx.Err() != nil {
 								return
 							}
-							run(t)
+							run(t, tally)
 						}
 					}()
 				}
 				wg.Wait()
 				runErr = ctx.Err()
+				for i := range tallies {
+					a.obDense += tallies[i].dense
+					a.obSparse += tallies[i].sparse
+					a.obExact += tallies[i].exact
+					a.obClosedForm += tallies[i].closedForm
+				}
 			}
 			// Fold the per-replicate draw counters back into the parent so
 			// Trace accounting stays exact — on the cancellation path too.

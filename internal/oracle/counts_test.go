@@ -259,3 +259,39 @@ func BenchmarkDrawPoissonLegacy(b *testing.B) {
 		NewSparseCounts(1<<16, DrawPoisson(s, r, 1<<18))
 	}
 }
+
+// TestBumpNDenseOverflowBoundary pins the int32 ceiling of the dense
+// backing: accumulating to exactly MaxInt32 is fine, one past it must
+// panic rather than wrap (a wrapped count silently corrupts every
+// downstream statistic). A heavy single-element run synthesized by the
+// closed-form counter near the MaxSamples budget (~2³¹) is the
+// realistic way to get here.
+func TestBumpNDenseOverflowBoundary(t *testing.T) {
+	c := NewDenseCounts(4, nil)
+	c.bumpN(1, math.MaxInt32-7)
+	c.bumpN(1, 7) // lands exactly on the ceiling
+	if got := c.Of(1); got != math.MaxInt32 {
+		t.Fatalf("Of(1) = %d, want MaxInt32", got)
+	}
+	if got := c.Total(); got != math.MaxInt32 {
+		t.Fatalf("Total() = %d, want MaxInt32", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("bumpN past MaxInt32 did not panic; the dense count wrapped silently")
+		}
+	}()
+	c.bumpN(1, 1)
+}
+
+// TestBumpNSparseHasNoInt32Ceiling: the sparse (map) backing accumulates
+// in native ints and must keep counting where the dense backing stops.
+func TestBumpNSparseHasNoInt32Ceiling(t *testing.T) {
+	c := NewSparseCounts(1<<30, nil)
+	c.bumpN(5, math.MaxInt32-1)
+	c.bumpN(5, 10)
+	if want := int(math.MaxInt32) + 9; c.Of(5) != want {
+		t.Fatalf("Of(5) = %d, want %d", c.Of(5), want)
+	}
+}

@@ -8,6 +8,7 @@ package oracle
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/dist"
@@ -37,8 +38,14 @@ type Oracle interface {
 // the parent serially in that case.
 type Forker interface {
 	Oracle
+	// CanFork reports whether Fork will yield clones — false when the
+	// oracle, or an oracle it wraps, is inherently serial. It is the
+	// cheap capability probe: callers deciding whether to fan out should
+	// ask CanFork rather than performing (and discarding) a trial Fork,
+	// which may allocate a clone chain or consume factory work.
+	CanFork() bool
 	// Fork returns an independent clone drawing its randomness from r, or
-	// nil if the oracle cannot be cloned.
+	// nil if the oracle cannot be cloned (CanFork() == false).
 	Fork(r *rng.RNG) Oracle
 	// Absorb folds draws performed on clones back into the parent's
 	// Samples() counter, preserving exact budget accounting. It must not
@@ -396,6 +403,10 @@ func (s *Sampler) Samples() int64 { return s.count }
 // ResetCount zeroes the sample counter (e.g. between experiment trials).
 func (s *Sampler) ResetCount() { s.count = 0 }
 
+// CanFork reports that samplers always clone (the alias tables are
+// immutable and shared).
+func (s *Sampler) CanFork() bool { return true }
+
 // Fork returns an independent sampler over the same distribution, sharing
 // the immutable alias tables (and run weights) but drawing from r with a
 // zeroed counter.
@@ -439,6 +450,12 @@ func (p *Permuted) Draw() int { return p.sigma[p.inner.Draw()] }
 
 // Samples returns the inner oracle's count.
 func (p *Permuted) Samples() int64 { return p.inner.Samples() }
+
+// CanFork reports whether the inner oracle can clone.
+func (p *Permuted) CanFork() bool {
+	f, ok := p.inner.(Forker)
+	return ok && f.CanFork()
+}
 
 // Fork clones the permuted oracle when the inner oracle supports it; the
 // clone shares the immutable permutation table.
@@ -508,6 +525,12 @@ func (c *Conditional) Draw() int {
 
 // Samples returns the inner oracle's draw count (including rejections).
 func (c *Conditional) Samples() int64 { return c.inner.Samples() }
+
+// CanFork reports whether the inner oracle can clone.
+func (c *Conditional) CanFork() bool {
+	f, ok := c.inner.(Forker)
+	return ok && f.CanFork()
+}
 
 // Fork clones the conditional oracle when the inner oracle supports it;
 // the clone shares the immutable domain.
@@ -646,12 +669,26 @@ func (c *Counts) bump(v int) {
 
 // bumpN tallies k occurrences of the in-range element v at once (the
 // closed-form synthesizer's run totals and dense per-element counts).
+//
+// The dense backing accumulates into an int32, and bumpN is the one
+// path that can plausibly reach its ceiling: a closed-form synthesis of
+// a heavy single-element run near the MaxSamples budget (~2³¹) lands
+// the whole batch on one element in a single call. Overflow must panic
+// rather than wrap — a wrapped count silently corrupts every statistic
+// downstream. (The per-draw bump path cannot realistically get there:
+// it would need 2³¹ individual draws onto one element, which the budget
+// guard makes a multi-hour run, and guarding it would tax every sample.)
 func (c *Counts) bumpN(v, k int) {
 	if c.dense != nil {
 		if c.dense[v] == 0 {
 			c.distinct++
 		}
-		c.dense[v] += int32(k)
+		nv := int64(c.dense[v]) + int64(k)
+		if nv > math.MaxInt32 {
+			panic(fmt.Sprintf("oracle: count of element %d overflows the dense int32 backing (%d + %d > %d)",
+				v, c.dense[v], k, math.MaxInt32))
+		}
+		c.dense[v] = int32(nv)
 	} else {
 		c.m[v] += k
 	}

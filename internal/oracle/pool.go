@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	randv2 "math/rand/v2"
 	"sync"
 	"sync/atomic"
 )
@@ -42,14 +43,40 @@ var (
 	sparsePool = sync.Pool{New: func() any { return new(Counts) }}
 )
 
-// poolStats are the process-global pool accounting counters behind
-// PoolStatsSnapshot. A hit is an acquire served by a recycled backing of
-// sufficient capacity; a miss had to allocate. Acquires and Releases
-// balance exactly for code that releases every pooled buffer — the
-// leak-detection tests assert that delta-acquires == delta-releases
+// poolStatShards stripes the process-global pool accounting counters
+// behind PoolStatsSnapshot. A hit is an acquire served by a recycled
+// backing of sufficient capacity; a miss had to allocate. Acquires and
+// Releases balance exactly for code that releases every pooled buffer —
+// the leak-detection tests assert that delta-acquires == delta-releases
 // around a tester run (including a cancelled one).
-var poolStats struct {
+//
+// The counters are striped because they sit on the batch-draw hot path
+// of EVERY concurrent tester run: each sieve replicate bumps acquire +
+// hit/miss + release, so under a parallel sieve (or many concurrent
+// histd requests) a single counter line ping-pongs between cores 2–3
+// times per batch. Each stripe is padded to its own cache line;
+// PoolStatsSnapshot sums the stripes, so totals stay exact while no two
+// cores need to agree on one line per bump.
+const poolStatShards = 32 // power of two, comfortably above typical core counts
+
+// poolStatShard is one stripe of the pool counters. The four Int64s
+// occupy 32 bytes; the trailing pad keeps every stripe on its own
+// 64-byte cache line.
+type poolStatShard struct {
 	acquires, hits, misses, releases atomic.Int64
+	_                                [32]byte
+}
+
+var poolStats [poolStatShards]poolStatShard
+
+// poolStatStripe picks a stripe for the calling goroutine. math/rand/v2's
+// global generator is backed by runtime-internal per-thread state, so the
+// pick itself is contention-free; a uniformly random stripe keeps any
+// number of concurrent workers spread across the lines. Stripe choice is
+// pure diagnostics routing — it never touches the repro rng streams, so
+// determinism of draws and Traces is unaffected.
+func poolStatStripe() *poolStatShard {
+	return &poolStats[randv2.Uint32N(poolStatShards)]
 }
 
 // PoolStats is a snapshot of the Counts pool counters.
@@ -64,31 +91,35 @@ type PoolStats struct {
 	Releases int64
 }
 
-// PoolStatsSnapshot returns the current process-global pool counters.
-// Deltas around a serial region attribute exactly; under concurrent runs
-// the attribution is approximate (the totals remain exact).
+// PoolStatsSnapshot returns the current process-global pool counters,
+// summed across the stripes. Deltas around a quiesced region attribute
+// exactly; under concurrent runs the attribution is approximate (the
+// totals remain exact).
 func PoolStatsSnapshot() PoolStats {
-	return PoolStats{
-		Acquires: poolStats.acquires.Load(),
-		Hits:     poolStats.hits.Load(),
-		Misses:   poolStats.misses.Load(),
-		Releases: poolStats.releases.Load(),
+	var s PoolStats
+	for i := range poolStats {
+		s.Acquires += poolStats[i].acquires.Load()
+		s.Hits += poolStats[i].hits.Load()
+		s.Misses += poolStats[i].misses.Load()
+		s.Releases += poolStats[i].releases.Load()
 	}
+	return s
 }
 
 // acquireCountsSized returns an empty pooled Counts with the backing
 // chosen for m samples over [0, n) — the pooled counterpart of
 // newCountsSized, with identical representation choice.
 func acquireCountsSized(n, m int) *Counts {
-	poolStats.acquires.Add(1)
+	stripe := poolStatStripe()
+	stripe.acquires.Add(1)
 	if useDense(n, m) {
 		c := densePool.Get().(*Counts)
 		if cap(c.dense) >= n {
-			poolStats.hits.Add(1)
+			stripe.hits.Add(1)
 			c.dense = c.dense[:n]
 			clear(c.dense)
 		} else {
-			poolStats.misses.Add(1)
+			stripe.misses.Add(1)
 			c.dense = make([]int32, n)
 		}
 		c.n, c.m, c.distinct, c.total, c.released = n, nil, 0, 0, false
@@ -96,10 +127,10 @@ func acquireCountsSized(n, m int) *Counts {
 	}
 	c := sparsePool.Get().(*Counts)
 	if c.m == nil {
-		poolStats.misses.Add(1)
+		stripe.misses.Add(1)
 		c.m = make(map[int]int, m)
 	} else {
-		poolStats.hits.Add(1)
+		stripe.hits.Add(1)
 		clear(c.m)
 	}
 	c.n, c.dense, c.distinct, c.total, c.released = n, nil, 0, 0, false
@@ -117,10 +148,10 @@ func (c *Counts) Release() {
 	}
 	c.released = true
 	if c.dense != nil {
-		poolStats.releases.Add(1)
+		poolStatStripe().releases.Add(1)
 		densePool.Put(c)
 	} else if c.m != nil {
-		poolStats.releases.Add(1)
+		poolStatStripe().releases.Add(1)
 		sparsePool.Put(c)
 	}
 }

@@ -102,9 +102,10 @@ func (s *Server) handleTest(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, admitErr(err), err)
 		return
 	}
-	// The worker always delivers exactly one result — including for
-	// cancelled runs — so this wait is bounded by the run's own deadline.
-	res := <-j.result
+	// The deadline starts at admission, and await answers at the deadline
+	// even while the job is still queued, so this wait is bounded by the
+	// run's own deadline end to end.
+	res := await(j)
 	if res.Err != "" {
 		s.writeError(w, res.Code, errors.New(res.Err))
 		return
@@ -175,7 +176,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// Stream in completion order: fan the per-job waits into one channel.
 	done := make(chan client.TestResult, len(jobs))
 	for _, j := range jobs {
-		go func(j *job) { done <- (<-j.result) }(j)
+		go func(j *job) { done <- await(j) }(j)
 	}
 	for range jobs {
 		res := <-done

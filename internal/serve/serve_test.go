@@ -301,7 +301,13 @@ func TestClientDisconnectCancelsRun(t *testing.T) {
 // Retry-After, and the typed client's backoff rides out the saturation
 // and completes once the pool frees up.
 func TestQueueSaturation(t *testing.T) {
-	_, hs, c := newTestServer(t, serve.Config{Workers: 1, QueueDepth: 1, RetryAfter: time.Second})
+	// The per-request deadline starts at admission, so a retry that lands
+	// in the queue spends its budget waiting behind the slow occupants —
+	// scale the deadline with the occupants' race-detector slowdown.
+	_, hs, c := newTestServer(t, serve.Config{
+		Workers: 1, QueueDepth: 1, RetryAfter: time.Second,
+		DefaultTimeout: raceScale * 30 * time.Second,
+	})
 
 	slow := client.TestRequest{Spec: ptr(fastSpec()), K: 8, Eps: 0.3} // ≈1.2 s serial
 	post := func() (*http.Response, error) {
@@ -359,6 +365,46 @@ func TestQueueSaturation(t *testing.T) {
 			t.Fatalf("background request %d finished with %d", i, code)
 		}
 	}
+}
+
+// TestSaturatedQueueHonorsDeadline: the per-request deadline starts at
+// admission and is honored end to end — a request whose deadline expires
+// while it is still WAITING in the queue is answered 504 at the
+// deadline, not after the worker eventually dequeues it. Before the fix
+// the deadline clock only started when a worker picked the job up, so
+// queue wait silently extended the budget past what the client asked for.
+func TestSaturatedQueueHonorsDeadline(t *testing.T) {
+	_, _, c := newTestServer(t, serve.Config{Workers: 1, QueueDepth: 1})
+
+	// Occupy the single worker with a run that takes seconds.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = c.Test(context.Background(), client.TestRequest{Spec: ptr(slowSpec()), K: 8, Eps: 0.3})
+	}()
+	time.Sleep(300 * time.Millisecond) // the occupant is on the worker now
+
+	// This request is admitted into the queue but cannot reach the worker
+	// until the occupant finishes — far beyond its own 200 ms deadline.
+	start := time.Now()
+	_, err := c.Test(context.Background(), client.TestRequest{Spec: ptr(fastSpec()), K: 8, Eps: 0.8, TimeoutMS: 200})
+	elapsed := time.Since(start)
+
+	apiErr, ok := err.(*client.APIError)
+	if !ok {
+		t.Fatalf("expected an APIError, got %v", err)
+	}
+	if apiErr.Code != client.ErrCodeCanceled || apiErr.Status != http.StatusGatewayTimeout {
+		t.Fatalf("expected canceled/504, got %s/%d", apiErr.Code, apiErr.Status)
+	}
+	// The occupant holds the worker for seconds; being answered anywhere
+	// near the 200 ms deadline proves the response did not wait for the
+	// dequeue.
+	if elapsed > raceScale*1200*time.Millisecond {
+		t.Fatalf("queued request answered after %s; deadline not honored end to end", elapsed)
+	}
+	wg.Wait()
 }
 
 // TestDrain: draining flips /healthz and admission to 503 (with a

@@ -50,9 +50,13 @@ type Config struct {
 	// RetryAfter is the hint returned with 429/503 responses. 0 means 1s.
 	RetryAfter time.Duration
 	// SieveWorkers caps the WITHIN-request sieve fan-out a request may ask
-	// for (TestRequest.Workers). The serving layer's primary parallelism
-	// is across requests, so this defaults to 1 (serial sieve) — raise it
-	// on latency-sensitive deployments with spare cores.
+	// for (TestRequest.Workers). Requests opt in per call (Workers > 1 in
+	// the request); this only bounds what they may ask for. Now that the
+	// sieve fan-out is de-contended (padded replicate rows, chunked
+	// assignment, per-worker tallies) the cap defaults to GOMAXPROCS;
+	// set 1 to force every served sieve serial, or a negative value for
+	// the same effect explicitly. Results are bit-identical at every
+	// worker count, so the cap is purely a latency/throughput trade.
 	SieveWorkers int
 	// MaxBatch bounds the sub-requests of one /v1/test/stream call.
 	// 0 means 256.
@@ -90,7 +94,10 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
-	if c.SieveWorkers <= 0 {
+	if c.SieveWorkers == 0 {
+		c.SieveWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.SieveWorkers < 0 {
 		c.SieveWorkers = 1
 	}
 	if c.MaxBatch <= 0 {
@@ -113,12 +120,42 @@ var errOverloaded = errors.New("serve: queue full")
 var errDraining = errors.New("serve: draining")
 
 // job is one admitted tester run traveling from the HTTP handler to a
-// worker and back.
+// worker and back. Its context carries the per-request deadline, started
+// at ADMISSION (see enqueue) so queue wait burns the request's own
+// budget rather than extending it.
 type job struct {
-	ctx    context.Context
-	spec   *runSpec
-	index  int
-	result chan client.TestResult // buffered(1); the worker always delivers
+	ctx     context.Context
+	cancel  context.CancelFunc // releases the deadline timer; called by the worker
+	spec    *runSpec
+	index   int
+	started chan struct{}          // closed when a worker dequeues the job
+	result  chan client.TestResult // buffered(1); the worker always delivers
+}
+
+// await returns the job's result, or answers early with a cancellation
+// result if the job's context dies while the job is still QUEUED.
+// Without the early arm, a request whose deadline expired in the queue
+// would not be answered until a worker got around to dequeuing it — the
+// end-to-end latency the deadline was supposed to bound. Once a worker
+// owns the job, await always returns the worker's settled result: the
+// cancellation reaches the run's context checks and the worker delivers
+// within one sieve round, and waiting for it keeps the long-standing
+// invariant that responses are written only after the run has fully
+// unwound (its pooled buffers released, its counters settled). The
+// result channel is buffered, so a delivery to an early-answered job is
+// never stranded.
+func await(j *job) client.TestResult {
+	select {
+	case res := <-j.result:
+		return res
+	case <-j.ctx.Done():
+		select {
+		case <-j.started:
+			return <-j.result
+		default:
+			return errorResult(j.index, client.ErrCodeCanceled, j.ctx.Err())
+		}
+	}
 }
 
 // Server runs tester requests on a bounded worker pool. Create with New,
@@ -262,12 +299,24 @@ func (s *Server) reserve(n int) bool {
 // enqueue places a job whose slot is already reserved. The jobs channel
 // has the same capacity as the semaphore, so the send cannot block; the
 // mutex serializes it against the close in Drain.
+//
+// The per-request deadline is applied HERE, at admission — not when a
+// worker dequeues the job. Starting the clock at dequeue time meant a
+// request could wait in the queue indefinitely and then still receive
+// its full budget, so the end-to-end latency a client asked to bound
+// could far exceed the deadline (TestSaturatedQueueHonorsDeadline pins
+// the fixed behavior).
 func (s *Server) enqueue(ctx context.Context, spec *runSpec, index int) *job {
-	j := &job{ctx: ctx, spec: spec, index: index, result: make(chan client.TestResult, 1)}
+	cancel := context.CancelFunc(func() {})
+	if spec.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, spec.timeout)
+	}
+	j := &job{ctx: ctx, cancel: cancel, spec: spec, index: index, started: make(chan struct{}), result: make(chan client.TestResult, 1)}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		<-s.slots
+		cancel()
 		j.result <- errorResult(index, client.ErrCodeDraining, errDraining)
 		return j
 	}
@@ -286,6 +335,7 @@ func (s *Server) worker() {
 	for j := range s.jobs {
 		vars().queueDepth.Add(-1)
 		<-s.slots
+		close(j.started)
 		j.result <- s.execute(arena, j)
 	}
 }
@@ -311,17 +361,12 @@ func (s *Server) execute(arena *core.Arena, j *job) (res client.TestResult) {
 		}
 	}()
 
-	// The run's context merges the request's (client disconnect,
-	// per-request deadline) with the server's hard-stop (drain deadline):
-	// whichever fires first aborts the run at core.TestContext's next
-	// cancellation point.
-	ctx := j.ctx
-	if sp := j.spec; sp.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, sp.timeout)
-		defer cancel()
-	}
-	mctx, mcancel := mergeContexts(ctx, s.hardStop)
+	// The run's context merges the job's (client disconnect, per-request
+	// deadline — started at admission, see enqueue) with the server's
+	// hard-stop (drain deadline): whichever fires first aborts the run at
+	// core.TestContext's next cancellation point.
+	defer j.cancel()
+	mctx, mcancel := mergeContexts(j.ctx, s.hardStop)
 	defer mcancel()
 
 	return runOne(mctx, arena, j.spec, j.index, s.cfg.Observer)
