@@ -58,7 +58,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		queue        = fs.Int("queue", 0, "admission queue depth beyond the running workers; 0 = 2x workers")
 		timeout      = fs.Duration("timeout", 30*time.Second, "default per-request deadline (requests may lower it; 0 disables)")
 		maxTimeout   = fs.Duration("max-timeout", 5*time.Minute, "upper clamp on request-supplied deadlines")
-		sieveWorkers = fs.Int("sieve-workers", 0, "max within-request sieve fan-out a request may ask for; 0 = all cores, negative = serial")
+		sieveWorkers = fs.Int("sieve-workers", 0, "max within-request sieve fan-out a request may ask for; 0 = all cores, negative = serial (a saturated pool can then run up to workers*sieve-workers goroutines — lower one of the two if the host is shared)")
 		retryAfter   = fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
 		drainT       = fs.Duration("drain-timeout", 15*time.Second, "how long in-flight runs may finish after SIGTERM before being cancelled")
 		maxBody      = fs.Int64("max-body", 1<<26, "request body size limit in bytes")

@@ -462,17 +462,6 @@ func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k 
 					run(t, nil)
 				}
 			} else {
-				a.obWorkers = w
-				var tallies []obTally
-				if a.ob != nil {
-					if cap(a.obTallies) < w {
-						a.obTallies = make([]obTally, w)
-					}
-					tallies = a.obTallies[:w]
-					for i := range tallies {
-						tallies[i] = obTally{}
-					}
-				}
 				// Deterministic chunked assignment: worker i owns the
 				// contiguous replicate range [i·chunk, (i+1)·chunk). The old
 				// shared atomic claim counter cost one contended CAS per
@@ -483,14 +472,28 @@ func (a *Arena) TestContext(ctx context.Context, o oracle.Oracle, r *rng.RNG, k 
 				// goroutine launches — so assignment shape is free to choose
 				// for locality: adjacent replicates (adjacent med rows) stay
 				// on the same worker.
+				//
+				// With reps not a multiple of w the trailing chunk(s) are
+				// empty (e.g. reps=5, w=4 → chunk=2 covers everything in 3
+				// chunks), so nw — the goroutines actually launched — can be
+				// smaller than w; it is what the observer round event reports.
 				chunk := (reps + w - 1) / w
+				nw := (reps + chunk - 1) / chunk
+				a.obWorkers = nw
+				var tallies []obTally
+				if a.ob != nil {
+					if cap(a.obTallies) < nw {
+						a.obTallies = make([]obTally, nw)
+					}
+					tallies = a.obTallies[:nw]
+					for i := range tallies {
+						tallies[i] = obTally{}
+					}
+				}
 				var wg sync.WaitGroup
-				for i := 0; i < w; i++ {
+				for i := 0; i < nw; i++ {
 					lo := i * chunk
 					hi := min(lo+chunk, reps)
-					if lo >= hi {
-						break
-					}
 					var tally *obTally
 					if tallies != nil {
 						tally = &tallies[i]

@@ -109,6 +109,40 @@ func TestSieveRoundEventsAccounted(t *testing.T) {
 	}
 }
 
+// TestSieveRoundWorkersReportsLaunched pins the Workers field of
+// SieveRound events against the goroutines the chunked scheduler really
+// launches. With reps=5 and cfg.Workers=4 the chunk size is ⌈5/4⌉ = 2,
+// which covers all replicates in 3 chunks — so only 3 workers run, and
+// the round event must say 3, not the configured 4.
+func TestSieveRoundWorkersReportsLaunched(t *testing.T) {
+	rec := obs.NewTraceRecorder()
+	cfg := PracticalConfig()
+	cfg.Workers = 4
+	cfg.SieveReps = 5
+	cfg.Observer = rec
+	r := rng.New(47)
+	s := oracle.NewSampler(threeHistogram(512), r)
+	if _, err := Test(s, r, 3, 0.5, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	for _, e := range rec.RunEvents(rec.Runs()[0]) {
+		if e.Kind != obs.KindSieveRound {
+			continue
+		}
+		rounds++
+		if e.Replicates != 5 {
+			t.Fatalf("round %d: replicates=%d, want the configured 5", e.Round, e.Replicates)
+		}
+		if e.Workers != 3 {
+			t.Fatalf("round %d: workers=%d, want 3 (⌈5/2⌉ launched goroutines)", e.Round, e.Workers)
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("no SieveRound events recorded")
+	}
+}
+
 // cancelOnSieve cancels its context the first time a sieve round
 // completes — a deterministic mid-run cancellation point that works on
 // both the serial and parallel sieve paths (round events are emitted

@@ -57,6 +57,12 @@ type Config struct {
 	// set 1 to force every served sieve serial, or a negative value for
 	// the same effect explicitly. Results are bit-identical at every
 	// worker count, so the cap is purely a latency/throughput trade.
+	// Note the defaults compound: with Workers also defaulting to
+	// GOMAXPROCS, a saturated pool whose every request opts in can run
+	// up to Workers×SieveWorkers sieve goroutines. That oversubscription
+	// favors the latency of individual requests over aggregate
+	// throughput; operators tuning a fully loaded box should lower one
+	// of the two (e.g. SieveWorkers = GOMAXPROCS/Workers).
 	SieveWorkers int
 	// MaxBatch bounds the sub-requests of one /v1/test/stream call.
 	// 0 means 256.
@@ -149,6 +155,18 @@ func await(j *job) client.TestResult {
 	case res := <-j.result:
 		return res
 	case <-j.ctx.Done():
+		// A result may already be sitting in the buffer with the context
+		// done at the same time — enqueue's drain rejection delivers its
+		// ErrCodeDraining result right after cancelling the admission
+		// deadline, so both arms of the outer select are ready and Go
+		// picks one at random. Prefer the delivered result: it is the
+		// job's real answer, and synthesizing a cancellation here would
+		// turn a retryable 503 into a terminal 504.
+		select {
+		case res := <-j.result:
+			return res
+		default:
+		}
 		select {
 		case <-j.started:
 			return <-j.result

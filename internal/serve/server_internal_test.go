@@ -1,0 +1,37 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/histtest/client"
+)
+
+// TestDrainRejectionBeatsDeadline pins the await ordering when a job is
+// rejected at enqueue because the server closed between admission and
+// enqueue. The closed branch cancels the freshly started admission
+// deadline and then delivers the ErrCodeDraining result, so by the time
+// await runs BOTH of its select arms are ready; before the fix Go's
+// random select choice answered roughly half of these requests with
+// ErrCodeCanceled (a terminal 504) instead of the retryable 503 the
+// drain contract promises. The loop makes a regression a near-certain
+// failure rather than a coin flip.
+func TestDrainRejectionBeatsDeadline(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, DefaultTimeout: time.Second})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	for i := 0; i < 200; i++ {
+		if !s.reserve(1) {
+			t.Fatal("reserve failed on an idle drained server")
+		}
+		j := s.enqueue(context.Background(), &runSpec{timeout: time.Minute}, i)
+		res := await(j)
+		if res.Code != client.ErrCodeDraining {
+			t.Fatalf("iteration %d: drain-rejected job answered with code %q (err %q), want %q",
+				i, res.Code, res.Err, client.ErrCodeDraining)
+		}
+	}
+}
