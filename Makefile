@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-json bench-gate experiments experiments-quick examples fuzz fuzz-smoke race test-race vet lint clean
+.PHONY: build test test-short bench bench-json bench-ingest-json bench-gate soak-smoke experiments experiments-quick examples fuzz fuzz-smoke race test-race vet lint clean
 
 build:
 	$(GO) build ./...
@@ -50,11 +50,25 @@ bench:
 bench-json:
 	$(GO) run ./cmd/histbench -hotpath-json BENCH_hotpath.json
 
+# Regenerate the recorded streaming-ingestion throughput numbers
+# (BENCH_ingest.json).
+bench-ingest-json:
+	$(GO) run ./cmd/histbench -ingest-json BENCH_ingest.json
+
 # CI perf gate: re-measure the hot-path micro-benchmarks and fail when
 # allocs/op regressed more than 10% — or ns/op more than 15% — against
 # the committed report, comparing only entries with equal gomaxprocs.
+# Then the ingest gate: events/s must stay within 30% of the committed
+# report and the 4-way soak above an absolute 1M events/s floor.
 bench-gate:
 	$(GO) run ./cmd/histbench -hotpath-gate BENCH_hotpath.json
+	$(GO) run ./cmd/histbench -ingest-gate BENCH_ingest.json
+
+# Short-mode ingest soak under the race detector: concurrent writers,
+# a racing snapshotter, and the conservation invariant (every
+# acknowledged event lands in exactly one tally).
+soak-smoke:
+	$(GO) test -race -short -count=1 -run 'TestSoakIngestConservation' ./internal/stream/
 
 # Full-fidelity experiment suite (minutes).
 experiments:

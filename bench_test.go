@@ -181,6 +181,19 @@ func BenchmarkDrawCountsPooled(b *testing.B) { benchhot.DrawCountsPooled(b) }
 // the per-batch closed-form speedup.
 func BenchmarkDrawCountsClosedForm(b *testing.B) { benchhot.DrawCountsClosedForm(b) }
 
+// BenchmarkIngestSoak and its ParallelN variants measure aggregate
+// sharded-accumulator ingest throughput — the events/s numbers
+// BENCH_ingest.json tracks (see `make bench-ingest-json`); N goroutines
+// pour 4096-event batches into one shared accumulator.
+func BenchmarkIngestSoak(b *testing.B)          { benchhot.IngestSoak(b, 1) }
+func BenchmarkIngestSoakParallel2(b *testing.B) { benchhot.IngestSoak(b, 2) }
+func BenchmarkIngestSoakParallel4(b *testing.B) { benchhot.IngestSoak(b, 4) }
+
+// BenchmarkIngestDecodeBinary / NDJSON include the wire-format parsing
+// in front of the accumulator — the full request-body→tally path.
+func BenchmarkIngestDecodeBinary(b *testing.B) { benchhot.IngestDecodeBinary(b) }
+func BenchmarkIngestDecodeNDJSON(b *testing.B) { benchhot.IngestDecodeNDJSON(b) }
+
 // TestSieveWorkersBenchmarkDeterminism pins the benchmark's claim that
 // serial and parallel runs decide identically per seed.
 func TestSieveWorkersBenchmarkDeterminism(t *testing.T) {

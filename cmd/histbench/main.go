@@ -11,10 +11,15 @@
 //	histbench -run E6 -trace-json trace.jsonl
 //	histbench -hotpath-json BENCH_hotpath.json
 //	histbench -hotpath-gate BENCH_hotpath.json
+//	histbench -ingest-json BENCH_ingest.json
+//	histbench -ingest-gate BENCH_ingest.json
 //
 // -hotpath-gate re-measures the hot-path micro-benchmarks and exits 1
 // when allocs/op regressed more than -hotpath-tolerance against the
 // committed report (the CI perf gate; see `make bench-gate`).
+// -ingest-gate does the same for the streaming-ingestion soaks,
+// gating events/s downward and holding the 4-way soak to an absolute
+// 1M events/s floor.
 //
 // ^C (or SIGTERM) cancels the run: in-flight tester invocations abort at
 // their next context check, pooled buffers are released, and any partial
@@ -64,6 +69,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		hotJSON    = fs.String("hotpath-json", "", "run the hot-path micro-benchmarks and write the results as JSON to this file (skips the experiments)")
 		hotGate    = fs.String("hotpath-gate", "", "re-run the hot-path micro-benchmarks and fail on an allocs/op regression against this committed report (skips the experiments)")
 		hotTol     = fs.Float64("hotpath-tolerance", 0.10, "allowed fractional allocs/op regression for -hotpath-gate")
+		ingJSON    = fs.String("ingest-json", "", "run the streaming-ingestion soak benchmarks and write the results as JSON to this file (skips the experiments)")
+		ingGate    = fs.String("ingest-gate", "", "re-run the ingestion soaks and fail on an events/s regression — or a 4-way soak under the 1M events/s floor — against this committed report (skips the experiments)")
 		countStrat = fs.String("count-strategy", "", "Poissonized count synthesis: 'exact' (default; bit-identical historical streams) or 'closed-form' (O(k+occupied) per batch on known samplers)")
 		traceJSON  = fs.String("trace-json", "", "stream per-run stage events as JSON lines to this file (also feeds the expvar counters)")
 	)
@@ -120,6 +127,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *hotGate != "" {
 		violations, err := gateHotpath(*hotGate, *hotTol, stdout, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "histbench: %v\n", err)
+			return 1
+		}
+		if violations > 0 {
+			return 1
+		}
+		return 0
+	}
+	if *ingJSON != "" {
+		if err := writeIngestJSON(*ingJSON, stderr); err != nil {
+			fmt.Fprintf(stderr, "histbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *ingGate != "" {
+		violations, err := gateIngest(*ingGate, stdout, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "histbench: %v\n", err)
 			return 1

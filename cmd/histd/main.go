@@ -15,6 +15,9 @@
 //	POST /v1/test         run the tester once
 //	POST /v1/test/stream  run a batch, results streamed as JSON lines
 //	POST /v1/samplers     register a distribution spec for reuse
+//	POST /v1/streams      register an ingestion stream (see -max-streams)
+//	POST /v1/streams/{id}/events  ingest raw events (ndjson or binary)
+//	POST /v1/streams/{id}/test    test the stream's accumulated counts
 //	GET  /healthz         readiness (503 once draining)
 //	GET  /debug/vars      live expvar counters (histd.*, histtest.*)
 //
@@ -58,11 +61,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		queue        = fs.Int("queue", 0, "admission queue depth beyond the running workers; 0 = 2x workers")
 		timeout      = fs.Duration("timeout", 30*time.Second, "default per-request deadline (requests may lower it; 0 disables)")
 		maxTimeout   = fs.Duration("max-timeout", 5*time.Minute, "upper clamp on request-supplied deadlines")
-		sieveWorkers = fs.Int("sieve-workers", 0, "max within-request sieve fan-out a request may ask for; 0 = all cores, negative = serial (a saturated pool can then run up to workers*sieve-workers goroutines — lower one of the two if the host is shared)")
+		sieveWorkers = fs.Int("sieve-workers", 0, "max within-request sieve fan-out a request may ask for; 0 = cores/workers (caps aggregate fan-out at all cores), negative = serial")
 		retryAfter   = fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
 		drainT       = fs.Duration("drain-timeout", 15*time.Second, "how long in-flight runs may finish after SIGTERM before being cancelled")
 		maxBody      = fs.Int64("max-body", 1<<26, "request body size limit in bytes")
 		traceJSON    = fs.String("trace-json", "", "stream per-request stage events as JSON lines to this file")
+		maxStreams   = fs.Int("max-streams", 0, "max live ingestion streams across all tenants; 0 = 256")
+		tenantQuota  = fs.Int("tenant-streams", 0, "max live ingestion streams per tenant; 0 = 32")
+		streamTTL    = fs.Duration("stream-ttl", 0, "evict ingestion streams idle this long; 0 = 15m")
+		ingestQueue  = fs.Int("ingest-queue", 0, "max concurrently decoding ingest batches before 429 pushback; 0 = 2x workers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,13 +80,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		SieveWorkers:   *sieveWorkers,
-		RetryAfter:     *retryAfter,
-		MaxBodyBytes:   *maxBody,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		SieveWorkers:      *sieveWorkers,
+		RetryAfter:        *retryAfter,
+		MaxBodyBytes:      *maxBody,
+		MaxStreams:        *maxStreams,
+		StreamTenantQuota: *tenantQuota,
+		StreamTTL:         *streamTTL,
+		IngestQueue:       *ingestQueue,
 	}
 	if *timeout == 0 {
 		cfg.DefaultTimeout = -1 // serve treats negative as "no default deadline"

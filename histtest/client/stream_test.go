@@ -1,0 +1,111 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEncodeEventsBinary: the frame format round-trips — uvarint count,
+// then each value as a uvarint.
+func TestEncodeEventsBinary(t *testing.T) {
+	values := []int{0, 1, 127, 128, 300, 1 << 20}
+	r := bytes.NewReader(EncodeEventsBinary(values))
+	count, err := binary.ReadUvarint(r)
+	if err != nil || count != uint64(len(values)) {
+		t.Fatalf("count prefix = %d (%v), want %d", count, err, len(values))
+	}
+	for i, want := range values {
+		v, err := binary.ReadUvarint(r)
+		if err != nil || v != uint64(want) {
+			t.Fatalf("value %d = %d (%v), want %d", i, v, err, want)
+		}
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		t.Fatalf("trailing bytes after the frame")
+	}
+
+	empty := EncodeEventsBinary(nil)
+	if len(empty) != 1 || empty[0] != 0 {
+		t.Fatalf("empty frame = %v, want a single zero byte", empty)
+	}
+}
+
+// TestIngestRetriesReuseBody: ingest pushed back with 429 retries with
+// the SAME payload bytes, and the retry succeeds.
+func TestIngestRetriesReuseBody(t *testing.T) {
+	values := []int{3, 1, 4, 1, 5}
+	want := EncodeEventsBinary(values)
+	var attempts atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if !bytes.Equal(body, want) {
+			t.Errorf("attempt %d body = %v, want %v", attempts.Load()+1, body, want)
+		}
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(ErrorResponse{Code: ErrCodeOverloaded, Error: "ingest queue full"})
+			return
+		}
+		json.NewEncoder(w).Encode(IngestResponse{Events: int64(len(values)), TotalEvents: int64(len(values))})
+	}))
+	defer hs.Close()
+
+	ack, err := retryClient(hs.URL).IngestEvents(context.Background(), "st1", values)
+	if err != nil {
+		t.Fatalf("ingest did not recover from the 429: %v", err)
+	}
+	if ack.Events != int64(len(values)) {
+		t.Fatalf("ack = %+v, want %d events", ack, len(values))
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}
+
+// TestStreamMethodsEscapeIDs: stream IDs are path-escaped, so a hostile
+// ID cannot traverse into another route.
+func TestStreamMethodsEscapeIDs(t *testing.T) {
+	var path atomic.Value
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path.Store(r.URL.EscapedPath())
+		json.NewEncoder(w).Encode(StreamInfo{ID: "x"})
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL)
+	if _, err := c.GetStream(context.Background(), "../admin"); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if got := path.Load().(string); got != "/v1/streams/..%2Fadmin" {
+		t.Fatalf("request path = %q; the stream ID was not escaped", got)
+	}
+}
+
+// TestStreamTestNotRetriedOnBadRequest: terminal errors surface
+// immediately with their typed code.
+func TestStreamTestNotRetriedOnBadRequest(t *testing.T) {
+	var attempts atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(ErrorResponse{Code: ErrCodeNotFound, Error: "stream not registered"})
+	}))
+	defer hs.Close()
+
+	_, err := retryClient(hs.URL).StreamTest(context.Background(), "gone", StreamTestRequest{})
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Code != ErrCodeNotFound || apiErr.Temporary() {
+		t.Fatalf("expected a terminal not_found, got %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a terminal failure, want 1", got)
+	}
+}

@@ -138,6 +138,9 @@ const (
 	ErrCodeCanceled = "canceled"
 	// ErrCodeUnknownSampler marks a Sampler ID that is not registered.
 	ErrCodeUnknownSampler = "unknown_sampler"
+	// ErrCodeNotFound marks a stream ID that is not registered (it may
+	// have been TTL-evicted).
+	ErrCodeNotFound = "not_found"
 	// ErrCodeInternal marks any other server-side failure.
 	ErrCodeInternal = "internal"
 )

@@ -1,0 +1,106 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// IngestSchema identifies the BENCH_ingest.json wire format: the
+// streaming-ingestion throughput trajectory, tracked per entry at the
+// parallelism it was measured at (same discipline as the hot-path
+// report — mismatched gomaxprocs entries are skipped, not compared).
+const IngestSchema = "histbench-ingest/v1"
+
+// IngestFloorEventsPerSec is the absolute acceptance floor: the soak
+// benchmark must sustain at least this aggregate ingest rate at 4-way
+// parallelism. Unlike the relative regression tolerance, the floor does
+// not drift with the committed report.
+const IngestFloorEventsPerSec = 1_000_000
+
+// IngestResult is one benchmark line of an ingest-throughput report.
+type IngestResult struct {
+	Iterations   int     `json:"iterations"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	// GOMAXPROCS is the parallelism the entry was measured at; the gate
+	// only compares entries measured at equal parallelism.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note,omitempty"`
+}
+
+// IngestReport is the schema of BENCH_ingest.json.
+type IngestReport struct {
+	Schema   string                  `json:"schema"`
+	Go       string                  `json:"go"`
+	Workload string                  `json:"workload"`
+	Results  map[string]IngestResult `json:"results"`
+}
+
+// LoadIngestReport reads and validates an ingest-throughput report file.
+func LoadIngestReport(path string) (*IngestReport, error) {
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep IngestReport
+	if err := json.Unmarshal(payload, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != IngestSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, IngestSchema)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &rep, nil
+}
+
+// CompareIngest gates current ingest throughput against a committed
+// baseline. Throughput gates DOWNWARD: a violation is events/s falling
+// more than tolerance below the baseline (allocations are informational
+// here — the soak's allocs/op is already pinned by the accumulator's
+// own tests). A baseline benchmark missing from current is a violation;
+// entries measured at different GOMAXPROCS are skipped and reported,
+// like the hot-path gate.
+//
+// floor additionally holds every current entry measured at gomaxprocs
+// >= 4 to an absolute minimum events/s regardless of the baseline —
+// the "millions of events/sec" acceptance bar cannot be eroded by
+// regenerating the report on a slow machine. Disabled when floor <= 0.
+func CompareIngest(baseline, current map[string]IngestResult, tolerance, floor float64) (violations, skipped []string) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but missing from current results", name))
+			continue
+		}
+		if base.GOMAXPROCS != cur.GOMAXPROCS {
+			skipped = append(skipped,
+				fmt.Sprintf("%s: skipped — baseline measured at gomaxprocs %d, current at %d; regenerate the report on a machine with matching parallelism to re-arm this gate",
+					name, base.GOMAXPROCS, cur.GOMAXPROCS))
+			continue
+		}
+		if limit := base.EventsPerSec * (1 - tolerance); cur.EventsPerSec < limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: events/s regressed %.0f -> %.0f (limit %.0f at -%.0f%% tolerance, gomaxprocs %d)",
+					name, base.EventsPerSec, cur.EventsPerSec, limit, tolerance*100, base.GOMAXPROCS))
+		}
+		if floor > 0 && cur.GOMAXPROCS >= 4 && cur.EventsPerSec < floor {
+			violations = append(violations,
+				fmt.Sprintf("%s: events/s %.0f below the absolute floor %.0f at gomaxprocs %d",
+					name, cur.EventsPerSec, floor, cur.GOMAXPROCS))
+		}
+	}
+	return violations, skipped
+}

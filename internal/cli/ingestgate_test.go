@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareIngestThroughputGatesDownward(t *testing.T) {
+	base := map[string]IngestResult{"Soak": {EventsPerSec: 1e7, GOMAXPROCS: 1}}
+	// Exactly -30% is within a 30% tolerance.
+	ok := map[string]IngestResult{"Soak": {EventsPerSec: 7e6, GOMAXPROCS: 1}}
+	if v, _ := CompareIngest(base, ok, 0.30, 0); len(v) != 0 {
+		t.Fatalf("-30%% should be within a 30%% tolerance, got %v", v)
+	}
+	bad := map[string]IngestResult{"Soak": {EventsPerSec: 6.9e6, GOMAXPROCS: 1}}
+	v, _ := CompareIngest(base, bad, 0.30, 0)
+	if len(v) != 1 || !strings.Contains(v[0], "events/s regressed") {
+		t.Fatalf("-31%% should violate a 30%% tolerance, got %v", v)
+	}
+	// Faster than baseline never violates.
+	fast := map[string]IngestResult{"Soak": {EventsPerSec: 1e9, GOMAXPROCS: 1}}
+	if v, _ := CompareIngest(base, fast, 0.30, 0); len(v) != 0 {
+		t.Fatalf("an improvement must not violate, got %v", v)
+	}
+}
+
+func TestCompareIngestAbsoluteFloor(t *testing.T) {
+	// The floor binds entries at gomaxprocs >= 4 even when the relative
+	// gate passes (a slow baseline must not erode the acceptance bar).
+	base := map[string]IngestResult{
+		"Soak4": {EventsPerSec: 9e5, GOMAXPROCS: 4},
+		"Soak1": {EventsPerSec: 9e5, GOMAXPROCS: 1},
+	}
+	cur := map[string]IngestResult{
+		"Soak4": {EventsPerSec: 9e5, GOMAXPROCS: 4},
+		"Soak1": {EventsPerSec: 9e5, GOMAXPROCS: 1},
+	}
+	v, _ := CompareIngest(base, cur, 0.30, IngestFloorEventsPerSec)
+	if len(v) != 1 || !strings.Contains(v[0], "Soak4") || !strings.Contains(v[0], "floor") {
+		t.Fatalf("a 4-way entry under 1M events/s must trip the floor (and only it), got %v", v)
+	}
+	cur["Soak4"] = IngestResult{EventsPerSec: 1.1e6, GOMAXPROCS: 4}
+	if v, _ := CompareIngest(base, cur, 0.30, IngestFloorEventsPerSec); len(v) != 0 {
+		t.Fatalf("above the floor should pass, got %v", v)
+	}
+	// floor <= 0 disables the absolute check.
+	cur["Soak4"] = IngestResult{EventsPerSec: 9e5, GOMAXPROCS: 4}
+	if v, _ := CompareIngest(base, cur, 0.30, 0); len(v) != 0 {
+		t.Fatalf("floor 0 should disable the absolute check, got %v", v)
+	}
+}
+
+func TestCompareIngestMissingAndMismatched(t *testing.T) {
+	base := map[string]IngestResult{
+		"Gone": {EventsPerSec: 1e6, GOMAXPROCS: 1},
+		"Par":  {EventsPerSec: 4e6, GOMAXPROCS: 4},
+	}
+	cur := map[string]IngestResult{
+		"Par": {EventsPerSec: 1e5, GOMAXPROCS: 1}, // machine too small: skip, don't violate
+	}
+	v, skipped := CompareIngest(base, cur, 0.30, IngestFloorEventsPerSec)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("a dropped benchmark must violate, got %v", v)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "gomaxprocs 4") {
+		t.Fatalf("mismatched parallelism must be reported as skipped, got %v", skipped)
+	}
+}
+
+func TestLoadIngestReport(t *testing.T) {
+	dir := t.TempDir()
+
+	good := filepath.Join(dir, "good.json")
+	rep := IngestReport{
+		Schema:  IngestSchema,
+		Results: map[string]IngestResult{"B": {EventsPerSec: 2.5e6, GOMAXPROCS: 4}},
+	}
+	payload, _ := json.Marshal(rep)
+	os.WriteFile(good, payload, 0o644)
+	got, err := LoadIngestReport(good)
+	if err != nil {
+		t.Fatalf("loading a valid report: %v", err)
+	}
+	if got.Results["B"].EventsPerSec != 2.5e6 || got.Results["B"].GOMAXPROCS != 4 {
+		t.Fatalf("round-trip lost data: %+v", got)
+	}
+
+	for name, body := range map[string]string{
+		"badschema.json": `{"schema":"histbench-hotpath/v2","results":{"B":{}}}`,
+		"empty.json":     `{"schema":"` + IngestSchema + `","results":{}}`,
+		"garbage.json":   `not json`,
+	} {
+		p := filepath.Join(dir, name)
+		os.WriteFile(p, []byte(body), 0o644)
+		if _, err := LoadIngestReport(p); err == nil {
+			t.Fatalf("%s should fail to load", name)
+		}
+	}
+}

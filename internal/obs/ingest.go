@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// IngestVars are the process-wide streaming-ingestion counters,
+// published under the "histd.ingest_" expvar namespace next to the
+// serving-layer counters (same /debug/vars endpoint). Like ExpvarSink,
+// expvar names are global, so the set is a singleton shared by every
+// server in the process.
+//
+//	histd.ingest_batches        ingest requests applied (any format)
+//	histd.ingest_events         events tallied into accumulators
+//	histd.ingest_bytes          request-body bytes decoded
+//	histd.ingest_rejected       ingest requests pushed back with 429
+//	histd.ingest_format_errors  requests rejected with 400 (malformed)
+//	histd.ingest_streams        live streams (gauge)
+//	histd.ingest_evictions      streams TTL-evicted
+//	histd.ingest_rotations      window rotations fired
+//	histd.ingest_dropped_events events that fell out of sliding windows
+//	histd.ingest_tests          snapshot test runs (manual + scheduled)
+type IngestVars struct {
+	Batches       *expvar.Int
+	Events        *expvar.Int
+	Bytes         *expvar.Int
+	Rejected      *expvar.Int
+	FormatErrors  *expvar.Int
+	ActiveStreams *expvar.Int
+	Evictions     *expvar.Int
+	Rotations     *expvar.Int
+	DroppedEvents *expvar.Int
+	Tests         *expvar.Int
+}
+
+var (
+	ingestOnce sync.Once
+	ingestInst *IngestVars
+)
+
+// Ingest returns the singleton, registering the expvar names on first
+// use.
+func Ingest() *IngestVars {
+	ingestOnce.Do(func() {
+		ingestInst = &IngestVars{
+			Batches:       expvar.NewInt("histd.ingest_batches"),
+			Events:        expvar.NewInt("histd.ingest_events"),
+			Bytes:         expvar.NewInt("histd.ingest_bytes"),
+			Rejected:      expvar.NewInt("histd.ingest_rejected"),
+			FormatErrors:  expvar.NewInt("histd.ingest_format_errors"),
+			ActiveStreams: expvar.NewInt("histd.ingest_streams"),
+			Evictions:     expvar.NewInt("histd.ingest_evictions"),
+			Rotations:     expvar.NewInt("histd.ingest_rotations"),
+			DroppedEvents: expvar.NewInt("histd.ingest_dropped_events"),
+			Tests:         expvar.NewInt("histd.ingest_tests"),
+		}
+	})
+	return ingestInst
+}

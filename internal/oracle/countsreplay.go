@@ -1,0 +1,151 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// CountsReplay replays an ACCUMULATED count vector as a sample stream:
+// each Draw removes one uniformly random remaining event from the
+// multiset the Counts describes — an exact uniform shuffle of the
+// recorded events, realized lazily, without ever materializing the
+// sample slice. It is the bridge between the streaming-ingestion
+// accumulators (internal/stream) and the tester: a firehose of raw
+// events is tallied into per-element counts, and the tester draws from
+// the tally exactly as it would from a shuffled recording of the same
+// events.
+//
+// Statistically this is sampling WITHOUT replacement, the same access
+// model as Replay over a recorded dataset (whose order the tester must
+// not be sensitive to); when the recorded multiset is much larger than
+// the tester's budget the stream is indistinguishable from i.i.d. draws
+// from the empirical distribution. Like Replay, Draw panics with
+// ErrReplayExhausted once every recorded event has been consumed, so
+// callers surface "need more samples" identically on both paths.
+//
+// The draw order is a pure function of the count CONTENTS and the RNG
+// stream: the index is built from Counts.ForEach (ascending elements on
+// both backings), so two Counts holding the same tallies — one dense,
+// one sparse; one accumulated shard-by-shard, one folded serially —
+// yield bit-identical streams from equal seeds. This is what makes a
+// stream-ingested verdict reproducible against a direct run over the
+// same counts.
+//
+// A CountsReplay is not safe for concurrent use and cannot fork (the
+// without-replacement state is inherently serial), mirroring Replay.
+type CountsReplay struct {
+	n     int
+	elems []int32 // distinct elements, ascending
+	tree  []int64 // Fenwick tree over remaining per-element counts
+	rem   int64
+	r     *rng.RNG
+	count int64
+}
+
+var _ Oracle = (*CountsReplay)(nil)
+
+// NewCountsReplay builds a replay oracle over the tallies of c, drawing
+// its shuffle randomness from r. The Counts is read once during
+// construction and not retained, so the caller remains free to Release
+// it immediately afterwards.
+func NewCountsReplay(c *Counts, r *rng.RNG) *CountsReplay {
+	cr := &CountsReplay{
+		n:     c.N(),
+		elems: make([]int32, 0, c.Distinct()),
+		tree:  make([]int64, c.Distinct()+1),
+		r:     r,
+	}
+	c.ForEach(func(elem, count int) {
+		cr.elems = append(cr.elems, int32(elem))
+		// Linear-time Fenwick construction: place the count, then push the
+		// partial sum to the parent node.
+		i := len(cr.elems) // 1-based tree index
+		cr.tree[i] += int64(count)
+		if p := i + (i & -i); p < len(cr.tree) {
+			cr.tree[p] += cr.tree[i]
+		}
+		cr.rem += int64(count)
+	})
+	return cr
+}
+
+// N returns the domain size.
+func (cr *CountsReplay) N() int { return cr.n }
+
+// Draw removes and returns one uniformly random remaining event. It
+// panics with ErrReplayExhausted when the tally is spent.
+func (cr *CountsReplay) Draw() int {
+	if cr.rem <= 0 {
+		panic(ErrReplayExhausted)
+	}
+	// Uniform rank in [0, rem), then the classic Fenwick descent to the
+	// first element whose cumulative count exceeds it.
+	target := int64(cr.r.Intn(int(cr.rem)))
+	idx := 0
+	mask := 1
+	for mask<<1 <= len(cr.elems) {
+		mask <<= 1
+	}
+	for ; mask > 0; mask >>= 1 {
+		next := idx + mask
+		if next < len(cr.tree) && cr.tree[next] <= target {
+			target -= cr.tree[next]
+			idx = next
+		}
+	}
+	// idx is 0-based after the descent: the descent lands on the last
+	// position whose prefix sum is <= target, so the hit is idx (1-based
+	// idx+1).
+	for i := idx + 1; i < len(cr.tree); i += i & -i {
+		cr.tree[i]--
+	}
+	cr.rem--
+	cr.count++
+	return int(cr.elems[idx])
+}
+
+// Samples returns how many events have been drawn.
+func (cr *CountsReplay) Samples() int64 { return cr.count }
+
+// Remaining returns how many recorded events are left.
+func (cr *CountsReplay) Remaining() int64 { return cr.rem }
+
+// Total returns the number of events the replay started with.
+func (cr *CountsReplay) Total() int64 { return cr.rem + cr.count }
+
+// AcquireCounts returns an empty pooled Counts sized for m samples over
+// [0, n), with the dense/sparse backing chosen by the same crossover
+// heuristic every internal batch draw uses. It is the snapshot adapter
+// for external accumulators (internal/stream): fill it with AddN, hand
+// it to the tester (e.g. via NewCountsReplay), then Release it. The
+// caller owns the Counts exactly as with DrawCounts.
+func AcquireCounts(n, m int) *Counts {
+	if n < 1 {
+		panic(fmt.Sprintf("oracle: AcquireCounts over empty domain n=%d", n))
+	}
+	return acquireCountsSized(n, m)
+}
+
+// AddN tallies k occurrences of element v — the ingest adapter external
+// accumulators use to fold their shards into a Counts. It panics on
+// out-of-range elements and negative k; k = 0 is a no-op. Dense-backing
+// overflow panics exactly as the internal tally paths do (see bumpN).
+func (c *Counts) AddN(v, k int) {
+	if v < 0 || v >= c.n {
+		panic(fmt.Sprintf("oracle: element %d outside [0,%d)", v, c.n))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("oracle: negative count %d for element %d", k, v))
+	}
+	if k == 0 {
+		return
+	}
+	c.bumpN(v, k)
+}
+
+// UseDense reports the dense/sparse crossover decision for a tally of m
+// samples over [0, n) — exported so external accumulators (the
+// streaming-ingestion shards) make the same representation choice as
+// the internal counting paths.
+func UseDense(n, m int) bool { return useDense(n, m) }

@@ -1,0 +1,164 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// buildCounts assembles a Counts with the given tallies (index = element).
+// The crossover is useDense(n, m) = n small && m >= n/64, so sizing for
+// a domain-sized m forces dense and m = 0 forces sparse (for n > 64).
+func buildCounts(t *testing.T, n int, tallies map[int]int, forceSparse bool) *Counts {
+	t.Helper()
+	size := n
+	if forceSparse {
+		size = 0
+	}
+	c := AcquireCounts(n, size)
+	for v, k := range tallies {
+		c.AddN(v, k)
+	}
+	return c
+}
+
+// TestCountsReplayConservation: drawing the replay dry returns exactly
+// the recorded multiset — every element the exact number of times it
+// was tallied, no more, no fewer.
+func TestCountsReplayConservation(t *testing.T) {
+	tallies := map[int]int{0: 3, 7: 1, 100: 42, 999: 5, 12345: 17}
+	total := 0
+	for _, k := range tallies {
+		total += k
+	}
+	for _, sparse := range []bool{false, true} {
+		c := buildCounts(t, 20_000, tallies, sparse)
+		cr := NewCountsReplay(c, rng.New(99))
+		c.Release()
+		if cr.Total() != int64(total) {
+			t.Fatalf("sparse=%v: Total = %d, want %d", sparse, cr.Total(), total)
+		}
+		got := map[int]int{}
+		for i := 0; i < total; i++ {
+			got[cr.Draw()]++
+		}
+		if cr.Remaining() != 0 || cr.Samples() != int64(total) {
+			t.Fatalf("sparse=%v: remaining=%d samples=%d after full drain", sparse, cr.Remaining(), cr.Samples())
+		}
+		for v, k := range tallies {
+			if got[v] != k {
+				t.Fatalf("sparse=%v: element %d drawn %d times, tallied %d", sparse, v, got[v], k)
+			}
+		}
+		if len(got) != len(tallies) {
+			t.Fatalf("sparse=%v: drew %d distinct elements, tallied %d", sparse, len(got), len(tallies))
+		}
+	}
+}
+
+// TestCountsReplayExhaustionPanics: one draw past the recorded events
+// panics with the same sentinel Replay uses, so the serving layer's
+// need_more_samples mapping covers both replay flavors.
+func TestCountsReplayExhaustionPanics(t *testing.T) {
+	c := AcquireCounts(10, 2)
+	c.AddN(3, 2)
+	cr := NewCountsReplay(c, rng.New(1))
+	c.Release()
+	cr.Draw()
+	cr.Draw()
+	defer func() {
+		if r := recover(); r != ErrReplayExhausted {
+			t.Fatalf("recovered %v, want ErrReplayExhausted", r)
+		}
+	}()
+	cr.Draw()
+	t.Fatal("Draw past exhaustion did not panic")
+}
+
+// TestCountsReplayBackingIndependence: the draw stream is a pure
+// function of the tallies and the seed — the dense and sparse backings
+// of the SAME tallies yield bit-identical streams. This is the property
+// that makes a stream-ingested verdict reproducible regardless of which
+// representation the accumulator happened to choose.
+func TestCountsReplayBackingIndependence(t *testing.T) {
+	tallies := map[int]int{1: 4, 50: 9, 51: 1, 4000: 30, 19999: 2}
+	total := 0
+	for _, k := range tallies {
+		total += k
+	}
+	dense := buildCounts(t, 20_000, tallies, false)
+	sparse := buildCounts(t, 20_000, tallies, true)
+	if dense.Dense() == sparse.Dense() {
+		t.Fatalf("backings did not diverge (dense=%v for both); fixture broken", dense.Dense())
+	}
+	a := NewCountsReplay(dense, rng.New(42))
+	b := NewCountsReplay(sparse, rng.New(42))
+	dense.Release()
+	sparse.Release()
+	for i := 0; i < total; i++ {
+		if va, vb := a.Draw(), b.Draw(); va != vb {
+			t.Fatalf("draw %d: dense backing gave %d, sparse gave %d", i, va, vb)
+		}
+	}
+}
+
+// TestCountsReplaySingleElement pins the Fenwick descent's edge case:
+// one distinct element, repeated.
+func TestCountsReplaySingleElement(t *testing.T) {
+	c := AcquireCounts(5, 3)
+	c.AddN(4, 3)
+	cr := NewCountsReplay(c, rng.New(7))
+	c.Release()
+	for i := 0; i < 3; i++ {
+		if v := cr.Draw(); v != 4 {
+			t.Fatalf("draw %d = %d, want 4", i, v)
+		}
+	}
+}
+
+// TestCountsReplayUniform sanity-checks that the shuffle is not
+// systematically ordered: with two equally weighted elements, the first
+// draw should pick each side a reasonable fraction of the time across
+// seeds.
+func TestCountsReplayUniform(t *testing.T) {
+	firstLow := 0
+	const trials = 400
+	for seed := uint64(1); seed <= trials; seed++ {
+		c := AcquireCounts(2, 2)
+		c.AddN(0, 1)
+		c.AddN(1, 1)
+		cr := NewCountsReplay(c, rng.New(seed))
+		c.Release()
+		if cr.Draw() == 0 {
+			firstLow++
+		}
+	}
+	if firstLow < trials/4 || firstLow > trials*3/4 {
+		t.Fatalf("first draw chose element 0 in %d/%d trials; shuffle looks biased", firstLow, trials)
+	}
+}
+
+// TestAddNValidation: the ingest adapter rejects out-of-range elements
+// and negative counts, and treats zero as a no-op.
+func TestAddNValidation(t *testing.T) {
+	c := AcquireCounts(10, 4)
+	defer c.Release()
+	c.AddN(3, 0) // no-op
+	if c.Total() != 0 {
+		t.Fatalf("AddN(3, 0) tallied something: total=%d", c.Total())
+	}
+	for _, bad := range []func(){
+		func() { c.AddN(-1, 1) },
+		func() { c.AddN(10, 1) },
+		func() { c.AddN(3, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid AddN did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -16,6 +16,10 @@ import (
 //	POST /v1/test         one TestRequest → one TestResult (JSON)
 //	POST /v1/test/stream  BatchRequest → ndjson TestResults, completion order
 //	POST /v1/samplers     HistogramSpec → RegisterResponse
+//	POST /v1/streams      StreamSpec → StreamInfo (register an ingestion stream)
+//	GET/DELETE /v1/streams/{id}      stream info / removal
+//	POST /v1/streams/{id}/events     ingest a batch (ndjson or binary frames)
+//	POST /v1/streams/{id}/test       test the stream's live window
 //	GET  /healthz         200 ok / 503 draining
 //	GET  /debug/vars      expvar counters (histd.* and histtest.*)
 func (s *Server) Handler() http.Handler {
@@ -23,6 +27,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/test", s.handleTest)
 	mux.HandleFunc("POST /v1/test/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/samplers", s.handleRegister)
+	mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
+	mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamInfo)
+	mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
+	mux.HandleFunc("POST /v1/streams/{id}/events", s.handleStreamIngest)
+	mux.HandleFunc("POST /v1/streams/{id}/test", s.handleStreamTest)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
@@ -35,7 +44,7 @@ func (s *Server) writeError(w http.ResponseWriter, code string, err error) {
 	switch code {
 	case client.ErrCodeBadRequest:
 		status = http.StatusBadRequest
-	case client.ErrCodeUnknownSampler:
+	case client.ErrCodeUnknownSampler, client.ErrCodeNotFound:
 		status = http.StatusNotFound
 	case client.ErrCodeNeedMoreSamples:
 		status = http.StatusUnprocessableEntity

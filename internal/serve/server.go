@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/rng"
+	"repro/internal/stream"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -53,16 +54,14 @@ type Config struct {
 	// for (TestRequest.Workers). Requests opt in per call (Workers > 1 in
 	// the request); this only bounds what they may ask for. Now that the
 	// sieve fan-out is de-contended (padded replicate rows, chunked
-	// assignment, per-worker tallies) the cap defaults to GOMAXPROCS;
-	// set 1 to force every served sieve serial, or a negative value for
-	// the same effect explicitly. Results are bit-identical at every
-	// worker count, so the cap is purely a latency/throughput trade.
-	// Note the defaults compound: with Workers also defaulting to
-	// GOMAXPROCS, a saturated pool whose every request opts in can run
-	// up to Workers×SieveWorkers sieve goroutines. That oversubscription
-	// favors the latency of individual requests over aggregate
-	// throughput; operators tuning a fully loaded box should lower one
-	// of the two (e.g. SieveWorkers = GOMAXPROCS/Workers).
+	// assignment, per-worker tallies) the cap is purely a
+	// latency/throughput trade — results are bit-identical at every
+	// worker count. The default (0) divides the machine among the pool:
+	// max(1, GOMAXPROCS/Workers), so a saturated pool whose every
+	// request opts in runs at most ~GOMAXPROCS sieve goroutines instead
+	// of Workers×GOMAXPROCS. Set an explicit positive value to allow
+	// more (favoring single-request latency over aggregate throughput),
+	// 1 or a negative value to force every served sieve serial.
 	SieveWorkers int
 	// MaxBatch bounds the sub-requests of one /v1/test/stream call.
 	// 0 means 256.
@@ -81,6 +80,25 @@ type Config struct {
 	// service against requests whose nominal budget is astronomical.
 	// 0 keeps the core default (2³¹).
 	MaxSamplesPerRun int64
+
+	// MaxStreams bounds the live ingestion-stream count across all
+	// tenants. 0 means stream.DefaultMaxStreams (256).
+	MaxStreams int
+	// StreamTenantQuota bounds one tenant's streams. 0 means
+	// stream.DefaultTenantQuota (32).
+	StreamTenantQuota int
+	// StreamTTL evicts streams idle (no ingest, test, or lookup) for
+	// this long. 0 means stream.DefaultStreamTTL (15m).
+	StreamTTL time.Duration
+	// IngestQueue bounds concurrently decoding ingest bodies; beyond it
+	// batches are pushed back with 429 + Retry-After before any body
+	// byte is read. 0 means 2×Workers.
+	IngestQueue int
+	// JanitorInterval is the tick of the maintenance goroutine (TTL
+	// sweep, window rotation, periodic re-tests). 0 means 100ms;
+	// negative disables the janitor (tests drive the registry clock
+	// directly).
+	JanitorInterval time.Duration
 }
 
 // withDefaults resolves the zero-value fields.
@@ -101,9 +119,12 @@ func (c Config) withDefaults() Config {
 		c.RetryAfter = time.Second
 	}
 	if c.SieveWorkers == 0 {
-		c.SieveWorkers = runtime.GOMAXPROCS(0)
+		// Default cap: effective Workers × SieveWorkers stays at
+		// GOMAXPROCS. Workers is already resolved above, so the division
+		// is against the real pool size.
+		c.SieveWorkers = runtime.GOMAXPROCS(0) / c.Workers
 	}
-	if c.SieveWorkers < 0 {
+	if c.SieveWorkers < 1 {
 		c.SieveWorkers = 1
 	}
 	if c.MaxBatch <= 0 {
@@ -114,6 +135,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSamplers <= 0 {
 		c.MaxSamplers = 1024
+	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = 2 * c.Workers
+	}
+	if c.JanitorInterval == 0 {
+		c.JanitorInterval = 100 * time.Millisecond
 	}
 	return c
 }
@@ -201,6 +228,13 @@ type Server struct {
 	workerWG sync.WaitGroup
 
 	samplers samplerTable
+
+	// streams is the ingestion-stream registry; ingestSlots its
+	// admission semaphore (one token per concurrently decoding batch);
+	// janitorStop ends the maintenance goroutine at drain.
+	streams     *stream.Registry
+	ingestSlots chan struct{}
+	janitorStop chan struct{}
 }
 
 // New starts a Server's worker pool and returns it.
@@ -220,9 +254,20 @@ func New(cfg Config) *Server {
 		hardCancel: hardCancel,
 	}
 	s.samplers.init(cfg.MaxSamplers)
+	s.streams = stream.NewRegistry(stream.RegistryConfig{
+		MaxStreams:  cfg.MaxStreams,
+		TenantQuota: cfg.StreamTenantQuota,
+		TTL:         cfg.StreamTTL,
+	})
+	s.ingestSlots = make(chan struct{}, cfg.IngestQueue)
+	s.janitorStop = make(chan struct{})
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
+	}
+	if cfg.JanitorInterval > 0 {
+		s.workerWG.Add(1)
+		go s.janitor()
 	}
 	return s
 }
@@ -254,6 +299,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
+		close(s.janitorStop)
 		close(s.jobs)
 	}
 	s.mu.Unlock()

@@ -1,0 +1,293 @@
+package stream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// foldSerial is the reference model: one flat map, batches applied in
+// order, no shards, no generations.
+func foldSerial(batches [][]int32) map[int32]int64 {
+	m := make(map[int32]int64)
+	for _, b := range batches {
+		for _, v := range b {
+			m[v]++
+		}
+	}
+	return m
+}
+
+// snapshotMap folds an accumulator snapshot into a comparable map.
+func snapshotMap(t *testing.T, a *Accumulator) map[int32]int64 {
+	t.Helper()
+	c, stats := a.Snapshot()
+	defer c.Release()
+	m := make(map[int32]int64)
+	c.ForEach(func(elem, count int) { m[int32(elem)] = int64(count) })
+	if int64(c.Total()) != stats.Events {
+		t.Fatalf("snapshot total %d != stats events %d", c.Total(), stats.Events)
+	}
+	if c.Distinct() != stats.Distinct {
+		t.Fatalf("snapshot distinct %d != stats distinct %d", c.Distinct(), stats.Distinct)
+	}
+	return m
+}
+
+func mapsEqual(a, b map[int32]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAccumulatorEqualsSerialFold is the satellite property test:
+// for random domains, shard counts, backings, batch shapes, and random
+// CONCURRENT interleavings, the sharded accumulator's snapshot equals a
+// serial single-map fold of the same batches. Addition commutes, so any
+// interleaving must land on the same tallies.
+func TestAccumulatorEqualsSerialFold(t *testing.T) {
+	rr := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rr.Intn(10_000)
+		cfg := AccumConfig{
+			N:           n,
+			Shards:      1 << rr.Intn(6),
+			ForceSparse: rr.Intn(2) == 1,
+		}
+		a, err := NewAccumulator(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		nBatches := 1 + rr.Intn(20)
+		batches := make([][]int32, nBatches)
+		for i := range batches {
+			b := make([]int32, rr.Intn(500))
+			for j := range b {
+				// Skew some trials so single shards go hot.
+				if rr.Intn(2) == 0 {
+					b[j] = int32(rr.Intn(n))
+				} else {
+					b[j] = int32(rr.Intn(1 + n/7))
+				}
+			}
+			batches[i] = b
+		}
+
+		// Random interleaving: every batch from its own goroutine.
+		var wg sync.WaitGroup
+		for _, b := range batches {
+			wg.Add(1)
+			go func(b []int32) {
+				defer wg.Done()
+				a.Ingest(b)
+			}(b)
+		}
+		wg.Wait()
+
+		want := foldSerial(batches)
+		got := snapshotMap(t, a)
+		if !mapsEqual(got, want) {
+			t.Fatalf("trial %d (n=%d shards=%d sparse=%v): sharded snapshot differs from serial fold",
+				trial, n, a.Shards(), !a.Dense())
+		}
+	}
+}
+
+// TestAccumulatorRotation: generations drop in FIFO order and the
+// window's running totals stay consistent.
+func TestAccumulatorRotation(t *testing.T) {
+	a, err := NewAccumulator(AccumConfig{N: 100, Shards: 4, Generations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(v int32, k int) {
+		b := make([]int32, k)
+		for i := range b {
+			b[i] = v
+		}
+		a.Ingest(b)
+	}
+	gen(1, 10) // gen 0
+	a.Rotate()
+	gen(2, 20) // gen 1
+	a.Rotate()
+	gen(3, 30) // gen 2
+	if got := a.WindowEvents(); got != 60 {
+		t.Fatalf("window holds %d events, want 60 (no generation dropped yet)", got)
+	}
+	// Fourth generation reuses slot 0: the 10 events of element 1 fall out.
+	if dropped := a.Rotate(); dropped != 10 {
+		t.Fatalf("rotation dropped %d events, want 10", dropped)
+	}
+	gen(4, 40)
+	if got := a.WindowEvents(); got != 90 {
+		t.Fatalf("window holds %d events, want 90", got)
+	}
+	if got := a.TotalEvents(); got != 100 {
+		t.Fatalf("all-time total %d, want 100 (rotations do not subtract)", got)
+	}
+	m := snapshotMap(t, a)
+	want := map[int32]int64{2: 20, 3: 30, 4: 40}
+	if !mapsEqual(m, want) {
+		t.Fatalf("post-rotation snapshot = %v, want %v", m, want)
+	}
+	if a.Rotations() != 3 {
+		t.Fatalf("rotations = %d, want 3", a.Rotations())
+	}
+}
+
+// TestAccumulatorShardShapes pins the constructor's shard arithmetic:
+// power-of-two rounding, the domain bound, and empty trailing ranges.
+func TestAccumulatorShardShapes(t *testing.T) {
+	cases := []struct {
+		n, shards, wantShards int
+	}{
+		{5, 4, 4},             // width 2 → shard 3 owns the empty range [5,5)
+		{1, 8, 1},             // never more shards than elements
+		{100, 3, 4},           // rounds up to a power of two
+		{100, 0, 0},           // default: resolved from GOMAXPROCS, just must build
+		{1 << 20, 2000, 1024}, // clamped at maxShards
+	}
+	for _, tc := range cases {
+		a, err := NewAccumulator(AccumConfig{N: tc.n, Shards: tc.shards})
+		if err != nil {
+			t.Fatalf("n=%d shards=%d: %v", tc.n, tc.shards, err)
+		}
+		if tc.wantShards != 0 && a.Shards() != tc.wantShards {
+			t.Fatalf("n=%d shards=%d: got %d shards, want %d", tc.n, tc.shards, a.Shards(), tc.wantShards)
+		}
+		if s := a.Shards(); s&(s-1) != 0 {
+			t.Fatalf("n=%d shards=%d: %d shards is not a power of two", tc.n, tc.shards, s)
+		}
+		// Every element must land in a shard that owns it.
+		for v := 0; v < min(tc.n, 2000); v++ {
+			idx := a.shardOf(int32(v))
+			if idx < 0 || idx >= a.Shards() {
+				t.Fatalf("n=%d: element %d maps to shard %d of %d", tc.n, v, idx, a.Shards())
+			}
+			if a.Dense() {
+				lo, hi := a.shardRange(idx)
+				if v < lo || v >= hi {
+					t.Fatalf("n=%d: element %d mapped to shard %d covering [%d,%d)", tc.n, v, idx, lo, hi)
+				}
+			}
+		}
+	}
+	if _, err := NewAccumulator(AccumConfig{N: 0}); err == nil {
+		t.Fatal("empty domain accepted")
+	}
+}
+
+// TestOpenTable exercises the sparse backing directly: growth across
+// the load threshold, duplicate keys, reset reuse.
+func TestOpenTable(t *testing.T) {
+	var tab openTable
+	const keys = 500
+	for round := 0; round < 2; round++ {
+		for i := 0; i < keys; i++ {
+			tab.add(int32(i*7), 1)
+			tab.add(int32(i*7), 2)
+		}
+		for i := 0; i < keys; i++ {
+			if got := tab.get(int32(i * 7)); got != 3 {
+				t.Fatalf("round %d: key %d = %d, want 3", round, i*7, got)
+			}
+		}
+		if tab.get(1) != 0 {
+			t.Fatal("absent key returned a count")
+		}
+		var sum int64
+		tab.forEach(func(_ int32, c int64) { sum += c })
+		if sum != 3*keys {
+			t.Fatalf("round %d: forEach sum = %d, want %d", round, sum, 3*keys)
+		}
+		tab.reset()
+		if tab.used != 0 || tab.get(0) != 0 {
+			t.Fatal("reset left occupied slots")
+		}
+	}
+}
+
+// TestSoakIngestConservation is the `make soak-smoke` anchor: N
+// goroutines hammer one accumulator with M batches each (with rotations
+// and snapshots interleaved), and every event must be accounted for —
+// conservation of the all-time total, and a final snapshot matching a
+// serial replay of the same batches. Run under -race this also proves
+// the shard/phase locking has no data races or deadlocks.
+func TestSoakIngestConservation(t *testing.T) {
+	goroutines, batchesPer, batchLen := 8, 200, 512
+	if testing.Short() {
+		goroutines, batchesPer = 4, 50
+	}
+	a, err := NewAccumulator(AccumConfig{N: 4096, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-generate per-goroutine batches so the serial reference sees the
+	// exact same data.
+	all := make([][][]int32, goroutines)
+	for g := range all {
+		rr := rand.New(rand.NewSource(int64(g + 1)))
+		all[g] = make([][]int32, batchesPer)
+		for i := range all[g] {
+			b := make([]int32, batchLen)
+			for j := range b {
+				b[j] = int32(rr.Intn(4096))
+			}
+			all[g][i] = b
+		}
+	}
+
+	stop := make(chan struct{})
+	var maint sync.WaitGroup
+	maint.Add(1)
+	go func() { // concurrent snapshots: must never tear a batch
+		defer maint.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c, _ := a.Snapshot()
+			c.Release()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(batches [][]int32) {
+			defer wg.Done()
+			for _, b := range batches {
+				a.Ingest(b)
+			}
+		}(all[g])
+	}
+	wg.Wait()
+	close(stop)
+	maint.Wait()
+
+	wantTotal := int64(goroutines * batchesPer * batchLen)
+	if got := a.TotalEvents(); got != wantTotal {
+		t.Fatalf("conservation violated: %d events ingested, %d accounted", wantTotal, got)
+	}
+	if got := a.WindowEvents(); got != wantTotal {
+		t.Fatalf("window holds %d events, want %d (nothing rotated)", got, wantTotal)
+	}
+	var flat [][]int32
+	for _, gb := range all {
+		flat = append(flat, gb...)
+	}
+	if !mapsEqual(snapshotMap(t, a), foldSerial(flat)) {
+		t.Fatal("final snapshot differs from serial fold of the same batches")
+	}
+}

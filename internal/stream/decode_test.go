@@ -1,0 +1,245 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// encodeFrames renders batches as the binary wire format.
+func encodeFrames(batches ...[]uint64) []byte {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	for _, b := range batches {
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(b)))])
+		for _, v := range b {
+			buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+		}
+	}
+	return buf.Bytes()
+}
+
+// collect returns a sink appending every batch to out.
+func collect(out *[]int32) decodeSink {
+	return func(values []int32) { *out = append(*out, values...) }
+}
+
+func TestDecodeBinaryRoundTrip(t *testing.T) {
+	payload := encodeFrames([]uint64{0, 1, 2, 300, 999}, []uint64{}, []uint64{999, 0})
+	var got []int32
+	applied, err := DecodeBinary(bytes.NewReader(payload), 1000, 0, collect(&got))
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	want := []int32{0, 1, 2, 300, 999, 999, 0}
+	if applied != int64(len(want)) {
+		t.Fatalf("applied = %d, want %d", applied, len(want))
+	}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("event %d = %d, want %d", i, got[i], v)
+		}
+	}
+}
+
+func TestDecodeBinaryMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		n       int
+	}{
+		{"truncated prefix", []byte{0x80}, 100},                       // uvarint continuation byte, then EOF
+		{"truncated frame", encodeFrames([]uint64{1, 2, 3})[:2], 100}, // count says 3, one value present
+		{"out of range", encodeFrames([]uint64{1, 100}), 100},         // 100 outside [0,100)
+		{"huge value", encodeFrames([]uint64{1, 1 << 40}), 100},       // far out of range
+		{"oversized frame", encodeFrames([]uint64{}), 100},            // patched below
+	}
+	// Oversized frame: a count prefix beyond the limit with no values.
+	var tmp [binary.MaxVarintLen64]byte
+	cases[4].payload = tmp[:binary.PutUvarint(tmp[:], uint64(DefaultMaxFrameEvents)+1)]
+
+	for _, tc := range cases {
+		var got []int32
+		_, err := DecodeBinary(bytes.NewReader(tc.payload), tc.n, 0, collect(&got))
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("%s: err = %v, want *FormatError", tc.name, err)
+		}
+	}
+}
+
+// TestDecodeBinaryPartialApplication pins the at-least-once contract:
+// frames decoded before the malformed point are applied and counted.
+func TestDecodeBinaryPartialApplication(t *testing.T) {
+	good := encodeFrames([]uint64{5, 6, 7})
+	bad := append(append([]byte{}, good...), 0x80) // valid frame, then truncated prefix
+	var got []int32
+	applied, err := DecodeBinary(bytes.NewReader(bad), 100, 0, collect(&got))
+	if err == nil {
+		t.Fatal("truncated payload decoded cleanly")
+	}
+	if applied != 3 || len(got) != 3 {
+		t.Fatalf("applied = %d (sink saw %d), want 3", applied, len(got))
+	}
+}
+
+// TestDecodeFlushBoundary crosses the internal batch-flush threshold in
+// both formats: every event must be applied exactly once. (Regression:
+// the ndjson parser once flushed a stale copy of the staging buffer
+// mid-line, double-applying the prefix of any payload past the
+// threshold.)
+func TestDecodeFlushBoundary(t *testing.T) {
+	const total = 3*decodeBatchLen + 17
+	events := make([]uint64, total)
+	counts := func(got []int32) map[int32]int64 {
+		m := make(map[int32]int64)
+		for _, v := range got {
+			m[v]++
+		}
+		return m
+	}
+	for i := range events {
+		events[i] = uint64(i % 1000)
+	}
+
+	var fromBinary []int32
+	applied, err := DecodeBinary(bytes.NewReader(encodeFrames(events)), 1000, 0, collect(&fromBinary))
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if applied != total || len(fromBinary) != total {
+		t.Fatalf("binary: applied %d events (sink saw %d), want %d", applied, len(fromBinary), total)
+	}
+
+	var sb strings.Builder
+	for _, v := range events {
+		fmt.Fprintf(&sb, "%d\n", v)
+	}
+	var fromNDJSON []int32
+	applied, err = DecodeNDJSON(strings.NewReader(sb.String()), 1000, collect(&fromNDJSON))
+	if err != nil {
+		t.Fatalf("DecodeNDJSON: %v", err)
+	}
+	if applied != total || len(fromNDJSON) != total {
+		t.Fatalf("ndjson: applied %d events (sink saw %d), want %d", applied, len(fromNDJSON), total)
+	}
+
+	want := make(map[int32]int64)
+	for _, v := range events {
+		want[int32(v)]++
+	}
+	for name, got := range map[string]map[int32]int64{"binary": counts(fromBinary), "ndjson": counts(fromNDJSON)} {
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("%s: element %d applied %d times, want %d", name, k, got[k], v)
+			}
+		}
+	}
+
+	// One giant array line crosses the threshold inside a single
+	// parseEventLine call — the exact shape of the regression.
+	var arr strings.Builder
+	arr.WriteByte('[')
+	for i := 0; i < total; i++ {
+		if i > 0 {
+			arr.WriteByte(',')
+		}
+		fmt.Fprintf(&arr, "%d", i%1000)
+	}
+	arr.WriteString("]\n")
+	var fromArray []int32
+	applied, err = DecodeNDJSON(strings.NewReader(arr.String()), 1000, collect(&fromArray))
+	if err != nil {
+		t.Fatalf("DecodeNDJSON(array): %v", err)
+	}
+	if applied != total || len(fromArray) != total {
+		t.Fatalf("array line: applied %d events (sink saw %d), want %d", applied, len(fromArray), total)
+	}
+}
+
+func TestDecodeNDJSON(t *testing.T) {
+	input := "0\n5\n\n[1, 2,3]\n  42 \n[]\n[ 7 ]\n"
+	var got []int32
+	applied, err := DecodeNDJSON(strings.NewReader(input), 100, collect(&got))
+	if err != nil {
+		t.Fatalf("DecodeNDJSON: %v", err)
+	}
+	want := []int32{0, 5, 1, 2, 3, 42, 7}
+	if applied != int64(len(want)) {
+		t.Fatalf("applied = %d, want %d", applied, len(want))
+	}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("event %d = %d, want %d", i, got[i], v)
+		}
+	}
+}
+
+func TestDecodeNDJSONMalformed(t *testing.T) {
+	cases := []string{
+		"abc\n",                   // not a number
+		"-1\n",                    // negative
+		"100\n",                   // out of range for n=100
+		"[1, 2\n",                 // unterminated array
+		"[1 2]\n",                 // missing comma
+		"5 extra\n",               // trailing garbage
+		"1.5\n",                   // fraction: trailing garbage after "1"
+		"999999999999999999999\n", // overflows long before parsing ends
+	}
+	for _, input := range cases {
+		var got []int32
+		_, err := DecodeNDJSON(strings.NewReader(input), 100, collect(&got))
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("%q: err = %v, want *FormatError", input, err)
+		}
+	}
+}
+
+// FuzzIngestDecoder is the satellite fuzz target: arbitrary bytes
+// through BOTH decoders must either decode cleanly or fail with a
+// typed *FormatError — never panic, and never emit an out-of-range
+// event (the accumulator panics on those, so the sink asserts).
+func FuzzIngestDecoder(f *testing.F) {
+	f.Add([]byte("0\n[1,2,3]\n"), 100)
+	f.Add(encodeFrames([]uint64{1, 2, 3}), 100)
+	f.Add([]byte{0x80, 0x80, 0x80}, 7)
+	f.Add([]byte("["), 1)
+	f.Add([]byte("9999999999999999999999999999"), 10)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 1 {
+			n = 1
+		}
+		if n > 1<<20 {
+			n = 1 << 20
+		}
+		var seen int64
+		sink := func(values []int32) {
+			seen += int64(len(values))
+			for _, v := range values {
+				if v < 0 || int(v) >= n {
+					t.Fatalf("decoder emitted out-of-range event %d for n=%d", v, n)
+				}
+			}
+		}
+		for _, dec := range []func() (int64, error){
+			func() (int64, error) { return DecodeBinary(bytes.NewReader(data), n, 0, sink) },
+			func() (int64, error) { return DecodeNDJSON(bytes.NewReader(data), n, sink) },
+		} {
+			seen = 0
+			applied, err := dec()
+			if err != nil {
+				var fe *FormatError
+				if !errors.As(err, &fe) {
+					t.Fatalf("n=%d: non-FormatError failure: %v", n, err)
+				}
+			}
+			if applied != seen {
+				t.Fatalf("n=%d: decoder reported %d applied events but the sink saw %d", n, applied, seen)
+			}
+		}
+	})
+}

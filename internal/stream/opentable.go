@@ -1,0 +1,110 @@
+package stream
+
+// openTable is a minimal open-addressed int32 → int64 counter table —
+// the sparse backing of one accumulator shard generation. Compared to a
+// Go map it stores keys and counts in two flat slices probed linearly,
+// so the hot ingest loop touches at most two cache lines per event and
+// reset keeps every allocation. A slot is occupied iff its count is
+// non-zero (counts are only ever incremented by positive deltas, so
+// zero is unambiguous).
+//
+// Not safe for concurrent use; the owning shard's lock serializes
+// access.
+type openTable struct {
+	keys []int32
+	cnts []int64
+	used int // occupied slots
+}
+
+// openTableMinCap is the initial capacity of a lazily grown table.
+const openTableMinCap = 64
+
+// hashKey mixes the element into the probe start index (fibonacci
+// multiplicative hashing; the high bits feed the mask).
+func hashKey(v int32, mask uint32) uint32 {
+	return uint32(uint64(uint32(v))*0x9e3779b97f4a7c15>>33) & mask
+}
+
+// add increments key k by delta (> 0), growing at 3/4 load.
+func (t *openTable) add(k int32, delta int64) {
+	if t.keys == nil || t.used*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	mask := uint32(len(t.keys) - 1)
+	i := hashKey(k, mask)
+	for {
+		if t.cnts[i] == 0 {
+			t.keys[i] = k
+			t.cnts[i] = delta
+			t.used++
+			return
+		}
+		if t.keys[i] == k {
+			t.cnts[i] += delta
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get returns the count of key k (0 when absent). Test helper.
+func (t *openTable) get(k int32) int64 {
+	if t.keys == nil {
+		return 0
+	}
+	mask := uint32(len(t.keys) - 1)
+	i := hashKey(k, mask)
+	for {
+		if t.cnts[i] == 0 {
+			return 0
+		}
+		if t.keys[i] == k {
+			return t.cnts[i]
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles the table (or allocates the initial one) and rehashes.
+func (t *openTable) grow() {
+	newCap := openTableMinCap
+	if len(t.keys) > 0 {
+		newCap = len(t.keys) * 2
+	}
+	oldKeys, oldCnts := t.keys, t.cnts
+	t.keys = make([]int32, newCap)
+	t.cnts = make([]int64, newCap)
+	t.used = 0
+	mask := uint32(newCap - 1)
+	for i, c := range oldCnts {
+		if c == 0 {
+			continue
+		}
+		k := oldKeys[i]
+		j := hashKey(k, mask)
+		for t.cnts[j] != 0 {
+			j = (j + 1) & mask
+		}
+		t.keys[j] = k
+		t.cnts[j] = c
+		t.used++
+	}
+}
+
+// reset clears every slot, keeping the allocation for reuse (window
+// rotation clears whole generations at once).
+func (t *openTable) reset() {
+	clear(t.cnts)
+	t.used = 0
+}
+
+// forEach visits every occupied slot in table order (unordered with
+// respect to keys; callers needing order fold into an oracle.Counts,
+// which orders its own iteration).
+func (t *openTable) forEach(f func(k int32, count int64)) {
+	for i, c := range t.cnts {
+		if c != 0 {
+			f(t.keys[i], c)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package stream
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stream registry: the per-tenant table of live ingestion streams.
+//
+// Each stream owns one sharded Accumulator plus the test parameters the
+// serving layer runs over its snapshots. The registry bounds the total
+// stream count and the per-tenant count (a handful of hot tenants must
+// not evict everyone else's accumulators), and evicts streams that have
+// seen no traffic for the TTL — ingest, test, and lookup all refresh
+// the idle clock. The clock is injectable so eviction and window
+// rotation are testable without sleeping.
+
+// Registry limit defaults. Conservative: a dense accumulator is O(n)
+// int64s per generation per stream, so the stream count is the knob
+// that bounds resident memory.
+const (
+	DefaultMaxStreams  = 256
+	DefaultTenantQuota = 32
+	DefaultStreamTTL   = 15 * time.Minute
+	DefaultTenant      = "default"
+	maxTenantNameLen   = 128
+	minRotatePeriod    = 100 * time.Millisecond
+	minRetestPeriod    = 100 * time.Millisecond
+	maxStreamGens      = 64
+)
+
+// Registry errors, mapped by the serving layer to 429 (capacity) and
+// 404 (lookup).
+var (
+	ErrRegistryFull = errors.New("stream: registry at capacity")
+	ErrTenantQuota  = errors.New("stream: tenant at stream quota")
+)
+
+// StreamConfig is everything a stream needs at creation time: the
+// accumulator shape plus the test parameters its snapshots run under.
+type StreamConfig struct {
+	// Tenant scopes quota accounting ("" means DefaultTenant).
+	Tenant string
+	// Accum shapes the sharded accumulator (N required).
+	Accum AccumConfig
+	// Params are the tester parameters for this stream's snapshots.
+	Params TestParams
+	// Window is the rotation period for sliding windows; 0 disables
+	// rotation (an ever-growing tally). Requires Accum.Generations > 1
+	// to be a true sliding window — with 1 generation each rotation
+	// clears the whole tally (tumbling window).
+	Window time.Duration
+	// RetestEvery schedules periodic automatic re-tests; 0 disables.
+	RetestEvery time.Duration
+}
+
+// TestParams are the tester parameters bound to a stream. The serving
+// layer interprets them (preset resolution, timeouts); the registry
+// only stores them.
+type TestParams struct {
+	K    int
+	Eps  float64
+	Cfg  string // config preset name; "" = serving default
+	Seed uint64 // base RNG seed for snapshots (reproducibility anchor)
+}
+
+// TestRecord is the compact record of a stream's most recent test run,
+// surfaced in stream info responses.
+type TestRecord struct {
+	At       time.Time `json:"at"`
+	Seed     uint64    `json:"seed"`
+	Events   int64     `json:"events"`
+	Distinct int       `json:"distinct"`
+	Accept   bool      `json:"accept"`
+	Stage    string    `json:"reject_stage,omitempty"`
+	Err      string    `json:"error,omitempty"`
+}
+
+// Stream is one live ingestion stream. The accumulator handles its own
+// locking; the stream's mutex guards only the bookkeeping clock fields.
+type Stream struct {
+	ID     string
+	Tenant string
+	Cfg    StreamConfig
+	Acc    *Accumulator
+
+	Created time.Time
+
+	mu         sync.Mutex
+	lastSeen   time.Time
+	nextRotate time.Time // zero when rotation disabled
+	nextRetest time.Time // zero when re-testing disabled
+	lastTest   *TestRecord
+	batches    int64
+	bytes      int64
+}
+
+// Touch refreshes the idle clock and tallies one ingested batch.
+func (s *Stream) Touch(now time.Time, batchBytes int64) {
+	s.mu.Lock()
+	s.lastSeen = now
+	s.batches++
+	s.bytes += batchBytes
+	s.mu.Unlock()
+}
+
+// Seen refreshes the idle clock without tallying a batch (lookups,
+// tests).
+func (s *Stream) Seen(now time.Time) {
+	s.mu.Lock()
+	s.lastSeen = now
+	s.mu.Unlock()
+}
+
+// Batches returns the ingested batch count and byte total.
+func (s *Stream) Batches() (batches, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches, s.bytes
+}
+
+// LastSeen returns the last traffic time.
+func (s *Stream) LastSeen() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeen
+}
+
+// RecordTest stores the latest test outcome.
+func (s *Stream) RecordTest(rec TestRecord) {
+	s.mu.Lock()
+	s.lastTest = &rec
+	s.mu.Unlock()
+}
+
+// LastTest returns a copy of the most recent test record, if any.
+func (s *Stream) LastTest() (TestRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastTest == nil {
+		return TestRecord{}, false
+	}
+	return *s.lastTest, true
+}
+
+// MaybeRotate advances the window if the rotation period has elapsed
+// (possibly several times after a stall, one Rotate per elapsed
+// period). Returns how many rotations fired and the events dropped.
+func (s *Stream) MaybeRotate(now time.Time) (rotated int, dropped int64) {
+	s.mu.Lock()
+	if s.nextRotate.IsZero() {
+		s.mu.Unlock()
+		return 0, 0
+	}
+	period := s.Cfg.Window
+	for !now.Before(s.nextRotate) {
+		rotated++
+		s.nextRotate = s.nextRotate.Add(period)
+		if rotated >= s.Acc.Generations() {
+			// Stalled past a full window: further catch-up rotations would
+			// just clear already-empty slots. Jump the clock forward.
+			for !now.Before(s.nextRotate) {
+				s.nextRotate = s.nextRotate.Add(period)
+			}
+			break
+		}
+	}
+	s.mu.Unlock()
+	for i := 0; i < rotated; i++ {
+		dropped += s.Acc.Rotate()
+	}
+	return rotated, dropped
+}
+
+// DueRetest reports whether a periodic re-test is due, advancing the
+// schedule when it is.
+func (s *Stream) DueRetest(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nextRetest.IsZero() || now.Before(s.nextRetest) {
+		return false
+	}
+	s.nextRetest = now.Add(s.Cfg.RetestEvery)
+	return true
+}
+
+// RegistryConfig configures a Registry. Zero values take the defaults
+// above; Now and NewID are injectable for tests.
+type RegistryConfig struct {
+	MaxStreams  int
+	TenantQuota int
+	TTL         time.Duration
+	Now         func() time.Time
+	NewID       func() string
+}
+
+// Registry is the table of live streams. Safe for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	streams   map[string]*Stream
+	byTenant  map[string]int
+	max       int
+	quota     int
+	ttl       time.Duration
+	now       func() time.Time
+	newID     func() string
+	evictions int64
+	created   int64
+}
+
+// NewRegistry builds a registry with the given limits.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	r := &Registry{
+		streams:  make(map[string]*Stream),
+		byTenant: make(map[string]int),
+		max:      cfg.MaxStreams,
+		quota:    cfg.TenantQuota,
+		ttl:      cfg.TTL,
+		now:      cfg.Now,
+		newID:    cfg.NewID,
+	}
+	if r.max <= 0 {
+		r.max = DefaultMaxStreams
+	}
+	if r.quota <= 0 {
+		r.quota = DefaultTenantQuota
+	}
+	if r.ttl <= 0 {
+		r.ttl = DefaultStreamTTL
+	}
+	if r.now == nil {
+		r.now = time.Now
+	}
+	if r.newID == nil {
+		r.newID = randomID
+	}
+	return r
+}
+
+// randomID returns a 16-hex-char random stream ID.
+func randomID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("stream: reading id randomness: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Create registers a new stream, building its accumulator. Capacity
+// errors (ErrRegistryFull, ErrTenantQuota) are retryable after eviction
+// or deletion; config errors are not.
+func (r *Registry) Create(cfg StreamConfig) (*Stream, error) {
+	if cfg.Tenant == "" {
+		cfg.Tenant = DefaultTenant
+	}
+	if len(cfg.Tenant) > maxTenantNameLen {
+		return nil, fmt.Errorf("stream: tenant name exceeds %d bytes", maxTenantNameLen)
+	}
+	if cfg.Window != 0 && cfg.Window < minRotatePeriod {
+		return nil, fmt.Errorf("stream: window %v below the minimum %v", cfg.Window, minRotatePeriod)
+	}
+	if cfg.RetestEvery != 0 && cfg.RetestEvery < minRetestPeriod {
+		return nil, fmt.Errorf("stream: retest period %v below the minimum %v", cfg.RetestEvery, minRetestPeriod)
+	}
+	if cfg.Accum.Generations > maxStreamGens {
+		return nil, fmt.Errorf("stream: %d window generations exceeds the maximum %d", cfg.Accum.Generations, maxStreamGens)
+	}
+	acc, err := NewAccumulator(cfg.Accum)
+	if err != nil {
+		return nil, err
+	}
+	now := r.now()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.streams) >= r.max {
+		// Opportunistic sweep before refusing: expired streams should not
+		// hold capacity against a live tenant.
+		if r.sweepLocked(now) == 0 {
+			return nil, ErrRegistryFull
+		}
+	}
+	if r.byTenant[cfg.Tenant] >= r.quota {
+		return nil, ErrTenantQuota
+	}
+	id := r.newID()
+	for r.streams[id] != nil {
+		id = r.newID()
+	}
+	s := &Stream{
+		ID:       id,
+		Tenant:   cfg.Tenant,
+		Cfg:      cfg,
+		Acc:      acc,
+		Created:  now,
+		lastSeen: now,
+	}
+	if cfg.Window > 0 {
+		s.nextRotate = now.Add(cfg.Window)
+	}
+	if cfg.RetestEvery > 0 {
+		s.nextRetest = now.Add(cfg.RetestEvery)
+	}
+	r.streams[id] = s
+	r.byTenant[cfg.Tenant]++
+	r.created++
+	return s, nil
+}
+
+// Get looks up a stream by ID, refreshing its idle clock on hit.
+func (r *Registry) Get(id string) (*Stream, bool) {
+	r.mu.Lock()
+	s, ok := r.streams[id]
+	r.mu.Unlock()
+	if ok {
+		s.Seen(r.now())
+	}
+	return s, ok
+}
+
+// Delete removes a stream. Returns false when the ID is unknown.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.streams[id]
+	if !ok {
+		return false
+	}
+	r.removeLocked(s)
+	return true
+}
+
+func (r *Registry) removeLocked(s *Stream) {
+	delete(r.streams, s.ID)
+	if n := r.byTenant[s.Tenant] - 1; n > 0 {
+		r.byTenant[s.Tenant] = n
+	} else {
+		delete(r.byTenant, s.Tenant)
+	}
+}
+
+// Sweep evicts every stream idle past the TTL, returning how many.
+func (r *Registry) Sweep() int {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sweepLocked(now)
+}
+
+func (r *Registry) sweepLocked(now time.Time) int {
+	var evicted []*Stream
+	for _, s := range r.streams {
+		if now.Sub(s.LastSeen()) > r.ttl {
+			evicted = append(evicted, s)
+		}
+	}
+	for _, s := range evicted {
+		r.removeLocked(s)
+	}
+	r.evictions += int64(len(evicted))
+	return len(evicted)
+}
+
+// Snapshot returns the live streams ordered by creation time (stable
+// for listings and the janitor's rotation scan).
+func (r *Registry) Snapshot() []*Stream {
+	r.mu.Lock()
+	out := make([]*Stream, 0, len(r.streams))
+	for _, s := range r.streams {
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the live stream count.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.streams)
+}
+
+// Evictions returns the all-time TTL eviction count.
+func (r *Registry) Evictions() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictions
+}

@@ -1,0 +1,222 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable registry clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func testRegistry(clk *fakeClock, max, quota int, ttl time.Duration) *Registry {
+	seq := 0
+	return NewRegistry(RegistryConfig{
+		MaxStreams:  max,
+		TenantQuota: quota,
+		TTL:         ttl,
+		Now:         clk.now,
+		NewID:       func() string { seq++; return fmt.Sprintf("st%d", seq) },
+	})
+}
+
+func streamCfg(tenant string) StreamConfig {
+	return StreamConfig{
+		Tenant: tenant,
+		Accum:  AccumConfig{N: 100, Shards: 2},
+		Params: TestParams{K: 4, Eps: 0.5, Seed: 1},
+	}
+}
+
+// TestRegistryTTLEviction: idle streams fall out after the TTL; any
+// touch (ingest, lookup) resets the clock.
+func TestRegistryTTLEviction(t *testing.T) {
+	clk := newFakeClock()
+	r := testRegistry(clk, 10, 10, time.Minute)
+	a, err := r.Create(streamCfg(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Create(streamCfg(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(50 * time.Second)
+	a.Touch(clk.now(), 10) // a stays fresh; b keeps aging
+	clk.advance(30 * time.Second)
+	if n := r.Sweep(); n != 1 {
+		t.Fatalf("sweep evicted %d streams, want 1", n)
+	}
+	if _, ok := r.Get(b.ID); ok {
+		t.Fatal("idle stream survived the sweep")
+	}
+	if _, ok := r.Get(a.ID); !ok {
+		t.Fatal("fresh stream was evicted")
+	}
+	// The Get above refreshed a's clock.
+	clk.advance(59 * time.Second)
+	if n := r.Sweep(); n != 0 {
+		t.Fatalf("sweep evicted %d streams after a refreshing Get, want 0", n)
+	}
+	if r.Evictions() != 1 {
+		t.Fatalf("evictions counter = %d, want 1", r.Evictions())
+	}
+}
+
+// TestRegistryBounds: the global cap and the per-tenant quota both
+// refuse with their typed errors, and deletion frees quota.
+func TestRegistryBounds(t *testing.T) {
+	clk := newFakeClock()
+	r := testRegistry(clk, 3, 2, time.Minute)
+	if _, err := r.Create(streamCfg("a")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Create(streamCfg("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(streamCfg("a")); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("third stream for tenant a: err = %v, want ErrTenantQuota", err)
+	}
+	if _, err := r.Create(streamCfg("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(streamCfg("c")); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("fourth stream: err = %v, want ErrRegistryFull", err)
+	}
+	if !r.Delete(s2.ID) {
+		t.Fatal("delete failed")
+	}
+	if _, err := r.Create(streamCfg("c")); err != nil {
+		t.Fatalf("create after delete: %v", err)
+	}
+	// At capacity again, but with an expired stream: create sweeps
+	// opportunistically instead of refusing.
+	clk.advance(2 * time.Minute)
+	if _, err := r.Create(streamCfg("d")); err != nil {
+		t.Fatalf("create at capacity with expired streams: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("registry holds %d streams, want 1 (3 expired swept)", r.Len())
+	}
+}
+
+// TestStreamWindowRotation: MaybeRotate fires once per elapsed period,
+// catches up after stalls without clearing live generations more than a
+// full window's worth, and leaves non-windowed streams alone.
+func TestStreamWindowRotation(t *testing.T) {
+	clk := newFakeClock()
+	r := testRegistry(clk, 10, 10, time.Hour)
+	cfg := streamCfg("")
+	cfg.Window = time.Second
+	cfg.Accum.Generations = 4
+	s, err := r.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rot, _ := s.MaybeRotate(clk.now()); rot != 0 {
+		t.Fatalf("rotated %d times before the period elapsed", rot)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if rot, _ := s.MaybeRotate(clk.now()); rot != 1 {
+		t.Fatalf("rotated %d times, want 1", rot)
+	}
+	// Stall 10 periods: catch-up is capped at the generation count.
+	clk.advance(10 * time.Second)
+	rot, _ := s.MaybeRotate(clk.now())
+	if rot != 4 {
+		t.Fatalf("stall catch-up rotated %d times, want 4 (generation count)", rot)
+	}
+	// After the catch-up the schedule is re-anchored: no immediate refire.
+	if rot, _ := s.MaybeRotate(clk.now()); rot != 0 {
+		t.Fatalf("re-anchored schedule refired %d times", rot)
+	}
+
+	plain, err := r.Create(streamCfg(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(time.Hour)
+	if rot, _ := plain.MaybeRotate(clk.now()); rot != 0 {
+		t.Fatal("windowless stream rotated")
+	}
+}
+
+// TestStreamRetestSchedule: DueRetest fires once per period.
+func TestStreamRetestSchedule(t *testing.T) {
+	clk := newFakeClock()
+	r := testRegistry(clk, 10, 10, time.Hour)
+	cfg := streamCfg("")
+	cfg.RetestEvery = time.Second
+	s, err := r.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DueRetest(clk.now()) {
+		t.Fatal("retest due immediately after creation")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !s.DueRetest(clk.now()) {
+		t.Fatal("retest not due after the period")
+	}
+	if s.DueRetest(clk.now()) {
+		t.Fatal("retest due twice without the clock advancing")
+	}
+}
+
+// TestRegistryConfigValidation: window/retest minima, generation cap,
+// tenant name length.
+func TestRegistryConfigValidation(t *testing.T) {
+	clk := newFakeClock()
+	r := testRegistry(clk, 10, 10, time.Hour)
+	bad := []StreamConfig{
+		func() StreamConfig { c := streamCfg(""); c.Window = time.Millisecond; return c }(),
+		func() StreamConfig { c := streamCfg(""); c.RetestEvery = time.Millisecond; return c }(),
+		func() StreamConfig { c := streamCfg(""); c.Accum.Generations = 1000; return c }(),
+		func() StreamConfig { c := streamCfg(""); c.Accum.N = 0; return c }(),
+		func() StreamConfig {
+			c := streamCfg("")
+			for len(c.Tenant) <= maxTenantNameLen {
+				c.Tenant += "x"
+			}
+			return c
+		}(),
+	}
+	for i, cfg := range bad {
+		if _, err := r.Create(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("failed creates left %d streams registered", r.Len())
+	}
+}
+
+// TestRegistrySnapshotOrder: Snapshot lists streams in creation order.
+func TestRegistrySnapshotOrder(t *testing.T) {
+	clk := newFakeClock()
+	r := testRegistry(clk, 10, 10, time.Hour)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		s, err := r.Create(streamCfg(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID)
+		clk.advance(time.Second)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d streams, want 5", len(snap))
+	}
+	for i, s := range snap {
+		if s.ID != ids[i] {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, s.ID, ids[i])
+		}
+	}
+}
