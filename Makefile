@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-json bench-ingest-json bench-gate soak-smoke experiments experiments-quick examples fuzz fuzz-smoke race test-race vet lint clean
+.PHONY: build test test-short conformance bench bench-json bench-ingest-json bench-gate soak-smoke experiments experiments-quick examples fuzz fuzz-smoke race test-race vet lint clean
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,17 @@ lint:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
-test: vet
+test: vet conformance
 	$(GO) test ./...
+
+# Cross-engine conformance battery, with the engine set named EXPLICITLY:
+# a registered engine missing from this list — or a listed engine missing
+# from the registry — fails loudly instead of silently shrinking the
+# table. Extend the list when registering a new engine.
+CONFORMANCE_ENGINES ?= adk,cdkl22
+
+conformance:
+	$(GO) test ./internal/core/ -run 'TestConformance' -conformance-engines=$(CONFORMANCE_ENGINES) -count=1
 
 # Full race-detector pass; the sieve fan-out in internal/core is the
 # main concurrent code path.
@@ -41,7 +50,7 @@ test-race: race
 test-short:
 	$(GO) test -short ./...
 
-# Micro-benchmarks and the E1–E12 tables via testing.B (quick mode).
+# Micro-benchmarks and the E1–E14 tables via testing.B (quick mode).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -87,6 +96,7 @@ examples:
 
 # Short fuzz pass over the structural fuzz targets.
 fuzz:
+	$(GO) test -fuzz=FuzzEngineSelection -fuzztime=15s ./internal/serve/
 	$(GO) test -fuzz=FuzzFromBoundaries -fuzztime=15s ./internal/intervals/
 	$(GO) test -fuzz=FuzzDomainAlgebra -fuzztime=15s ./internal/intervals/
 	$(GO) test -fuzz=FuzzProjectTV -fuzztime=15s ./internal/histdp/

@@ -96,6 +96,10 @@ func BenchmarkE12CheckAblation(b *testing.B) { runExperiment(b, "E12") }
 // partition comparison.
 func BenchmarkE13KnownPartition(b *testing.B) { runExperiment(b, "E13") }
 
+// BenchmarkE14EngineHeadToHead regenerates the adk-vs-cdkl22 operating
+// characteristic and samples-to-decision comparison.
+func BenchmarkE14EngineHeadToHead(b *testing.B) { runExperiment(b, "E14") }
+
 // benchEightHistogram returns a well-separated 8-histogram over [0, n)
 // for the sieve hot-path benchmark.
 func benchEightHistogram(n int) *dist.PiecewiseConstant {
@@ -159,6 +163,19 @@ func BenchmarkCoreTestHotPath(b *testing.B) { benchhot.CoreTestHotPath(b, 1) }
 func BenchmarkCoreTestHotPathParallel(b *testing.B)  { benchhot.CoreTestHotPath(b, 0) }
 func BenchmarkCoreTestHotPathParallel2(b *testing.B) { benchhot.CoreTestHotPath(b, 2) }
 func BenchmarkCoreTestHotPathParallel4(b *testing.B) { benchhot.CoreTestHotPath(b, 4) }
+
+// BenchmarkCoreTestHotPathEngineADK / EngineCDKL22 run the same workload
+// under each explicitly named tester engine — the like-for-like pair
+// `make bench-gate` gates per engine. The ADK entry matches
+// BenchmarkCoreTestHotPath by construction; the CDKL'22 entry has no
+// sieve at all, so its wall clock is dominated by partition + learn +
+// one flatness batch.
+func BenchmarkCoreTestHotPathEngineADK(b *testing.B) {
+	benchhot.CoreTestHotPathEngine(b, "adk", 1)
+}
+func BenchmarkCoreTestHotPathEngineCDKL22(b *testing.B) {
+	benchhot.CoreTestHotPathEngine(b, "cdkl22", 1)
+}
 
 // BenchmarkCoreTestHotPathClosedForm is the serial workload with count
 // vectors synthesized in closed form from the sampler's run structure

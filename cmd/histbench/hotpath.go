@@ -87,6 +87,10 @@ func measureHotpath(stderr io.Writer) cli.HotpathReport {
 				func(b *testing.B) { benchhot.CoreTestHotPath(b, 2) }),
 			"BenchmarkCoreTestHotPathParallel4": run("BenchmarkCoreTestHotPathParallel4", 4,
 				func(b *testing.B) { benchhot.CoreTestHotPath(b, 4) }),
+			"BenchmarkCoreTestHotPathEngineADK": run("BenchmarkCoreTestHotPathEngineADK", 1,
+				func(b *testing.B) { benchhot.CoreTestHotPathEngine(b, "adk", 1) }),
+			"BenchmarkCoreTestHotPathEngineCDKL22": run("BenchmarkCoreTestHotPathEngineCDKL22", 1,
+				func(b *testing.B) { benchhot.CoreTestHotPathEngine(b, "cdkl22", 1) }),
 			"BenchmarkCoreTestHotPathClosedForm": run("BenchmarkCoreTestHotPathClosedForm", 1,
 				func(b *testing.B) { benchhot.CoreTestHotPathClosedForm(b, 1) }),
 			"BenchmarkCoreTestHotPathClosedFormParallel4": run("BenchmarkCoreTestHotPathClosedFormParallel4", 4,

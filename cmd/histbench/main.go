@@ -1,4 +1,4 @@
-// Command histbench regenerates the experiment tables E1–E13 (see
+// Command histbench regenerates the experiment tables E1–E14 (see
 // DESIGN.md for the index mapping each to a paper claim).
 //
 // Usage:
@@ -6,6 +6,7 @@
 //	histbench -list
 //	histbench -run E1,E4
 //	histbench -run all -quick -seed 7
+//	histbench -run E1,E6 -engine cdkl22
 //	histbench -run E6 -csv results/
 //	histbench -run E7 -cpuprofile cpu.out -memprofile mem.out
 //	histbench -run E6 -trace-json trace.jsonl
@@ -40,6 +41,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/core"
 	"repro/internal/exper"
 	"repro/internal/obs"
 	"repro/internal/oracle"
@@ -57,7 +59,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("histbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runIDs     = fs.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
+		runIDs     = fs.String("run", "all", "comma-separated experiment IDs (E1..E14) or 'all'")
 		quick      = fs.Bool("quick", false, "smaller sweeps and trial counts")
 		seed       = fs.Uint64("seed", 1, "random seed")
 		csvDir     = fs.String("csv", "", "also write each table as CSV into this directory")
@@ -72,6 +74,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ingJSON    = fs.String("ingest-json", "", "run the streaming-ingestion soak benchmarks and write the results as JSON to this file (skips the experiments)")
 		ingGate    = fs.String("ingest-gate", "", "re-run the ingestion soaks and fail on an events/s regression — or a 4-way soak under the 1M events/s floor — against this committed report (skips the experiments)")
 		countStrat = fs.String("count-strategy", "", "Poissonized count synthesis: 'exact' (default; bit-identical historical streams) or 'closed-form' (O(k+occupied) per batch on known samplers)")
+		engine     = fs.String("engine", "", "tester engine: 'adk' (default; the paper's Algorithm 1) or 'cdkl22' (the CDKL'22 near-optimal tester)")
 		traceJSON  = fs.String("trace-json", "", "stream per-run stage events as JSON lines to this file (also feeds the expvar counters)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -182,7 +185,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "histbench: %v\n", err)
 		return 2
 	}
-	rc := exper.RunConfig{Seed: *seed, Quick: *quick, Ctx: ctx, CountStrategy: cs}
+	if _, err := core.EngineFor(*engine); err != nil {
+		fmt.Fprintf(stderr, "histbench: %v\n", err)
+		return 2
+	}
+	rc := exper.RunConfig{Seed: *seed, Quick: *quick, Ctx: ctx, CountStrategy: cs, Engine: *engine}
 	if *verbose {
 		rc.Progress = stderr
 	}

@@ -40,10 +40,48 @@ func TestUsageErrors(t *testing.T) {
 		{"bad flag value", []string{"-workers", "two"}},
 		{"positional args", []string{"stray"}},
 		{"unknown experiment", []string{"-run", "E99"}},
+		{"unknown engine", []string{"-run", "E1", "-engine", "adk2"}},
+		{"engine case-sensitive", []string{"-run", "E1", "-engine", "ADK"}},
 	}
 	for _, tc := range cases {
 		if code, _, _ := runCmd(tc.args...); code != 2 {
 			t.Errorf("%s: run(%v) = %d, want 2", tc.name, tc.args, code)
+		}
+	}
+	// The unknown-engine refusal must name the registered engines, so the
+	// operator can self-correct without reading source.
+	if _, _, errb := runCmd("-run", "E1", "-engine", "adk2"); !strings.Contains(errb, "adk") || !strings.Contains(errb, "cdkl22") {
+		t.Errorf("unknown-engine error does not list the registry: %q", errb)
+	}
+}
+
+// TestEngineFlagSelectsEngine runs the cheapest experiment under each
+// registered engine: the flag must reach core.Config.Engine (the cdkl22
+// run would fail loudly if the dispatch fell back to the default while
+// claiming otherwise — its trace has no sieve rounds).
+func TestEngineFlagSelectsEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (quick) experiment per engine")
+	}
+	for _, engine := range []string{"adk", "cdkl22"} {
+		trace := filepath.Join(t.TempDir(), engine+".jsonl")
+		code, out, errb := runCmd("-run", "E1", "-quick", "-engine", engine, "-trace-json", trace)
+		if code != 0 {
+			t.Fatalf("engine %s: exited %d:\n%s", engine, code, errb)
+		}
+		if !strings.Contains(out, "=== E1") {
+			t.Fatalf("engine %s: missing experiment header:\n%s", engine, out)
+		}
+		payload, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatalf("engine %s: reading trace: %v", engine, err)
+		}
+		hasSieve := strings.Contains(string(payload), `"sieve-round"`)
+		if engine == "adk" && !hasSieve {
+			t.Fatalf("adk trace has no sieve rounds — engine flag not honored")
+		}
+		if engine == "cdkl22" && hasSieve {
+			t.Fatalf("cdkl22 trace has sieve rounds — engine flag silently fell back to adk")
 		}
 	}
 }

@@ -65,6 +65,13 @@ type TestRequest struct {
 	// replay datasets always use the exact path (samples are data, not
 	// randomness), so closed-form silently falls back there.
 	CountStrategy string `json:"count_strategy,omitempty"`
+	// Engine selects the tester implementation: "" or "adk" runs the
+	// source paper's Algorithm 1, "cdkl22" the CDKL'22 near-optimal
+	// tester (sieve-free; roughly an order of magnitude fewer samples
+	// at equal operating characteristics — see README). Unknown names
+	// are rejected with 400 at admission time, never silently replaced
+	// by the default.
+	Engine string `json:"engine,omitempty"`
 	// TimeoutMS caps the request's server-side wall clock; on expiry the
 	// run is cancelled at the tester's next cancellation point. 0 means
 	// the server default; the server clamps it to its maximum.

@@ -49,10 +49,25 @@ func CoreTestHotPathClosedForm(b *testing.B, workers int) {
 	coreTestHotPath(b, workers, oracle.CountClosedForm)
 }
 
+// CoreTestHotPathEngine is the same workload under an explicitly named
+// engine — the per-engine BENCH_hotpath.json entries `make bench-gate`
+// uses to gate every registered engine like-for-like. The adk entry
+// duplicates CoreTestHotPath by construction (empty engine = adk), which
+// is deliberate: the named entry keeps gating even if the default ever
+// changes.
+func CoreTestHotPathEngine(b *testing.B, engine string, workers int) {
+	coreTestHotPathEngine(b, engine, workers, oracle.CountExact)
+}
+
 func coreTestHotPath(b *testing.B, workers int, cs oracle.CountStrategy) {
+	coreTestHotPathEngine(b, "", workers, cs)
+}
+
+func coreTestHotPathEngine(b *testing.B, engine string, workers int, cs oracle.CountStrategy) {
 	const n, k = 100_000, 8
 	const eps = 0.8
 	cfg := core.PracticalConfig()
+	cfg.Engine = engine
 	cfg.SieveReps = 0 // derive Θ(log k) replicates as the paper does
 	cfg.Workers = workers
 	cfg.MaxSamples = 1 << 33

@@ -79,7 +79,8 @@ func TestForkProbeDoesNotAllocate(t *testing.T) {
 // percent above the measured steady state (107 serial / 119 at four
 // workers), tight enough to catch a reintroduced per-call probe fork or
 // a scratch buffer that stopped being reused, loose enough to tolerate
-// runtime version noise.
+// runtime version noise. Race builds get raceAllocSlack on top: the
+// instrumentation moves a few stack allocations to the heap.
 func TestSteadyStateAllocationsBounded(t *testing.T) {
 	d := threeHistogram(2048)
 	cfg := PracticalConfig()
@@ -101,8 +102,8 @@ func TestSteadyStateAllocationsBounded(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
-		if got > tc.ceiling {
-			t.Fatalf("workers=%d: steady-state Test performs %v allocs/op, ceiling %v", tc.workers, got, tc.ceiling)
+		if ceiling := tc.ceiling + raceAllocSlack; got > ceiling {
+			t.Fatalf("workers=%d: steady-state Test performs %v allocs/op, ceiling %v", tc.workers, got, ceiling)
 		}
 	}
 }

@@ -33,6 +33,15 @@ import (
 // which is why this implementation keeps them tunable and validates the
 // operating characteristics empirically (see EXPERIMENTS.md).
 type Config struct {
+	// Engine selects the tester implementation by registry name: "" or
+	// "adk" runs the source paper's Algorithm 1 (the four-stage
+	// partition → learn → sieve → check → test pipeline); "cdkl22" runs
+	// the CDKL'22 near-optimal tester (see engine_cdkl.go). Unknown
+	// names fail the run with an error — never a silent fallback — and
+	// serving layers reject them with a 400 at admission time. See
+	// Engines() for the registered names.
+	Engine string
+
 	// PartBFactor sets the ApproxPart parameter b = PartBFactor·k·log2(k+2)/ε
 	// (paper: 20).
 	PartBFactor float64
@@ -70,6 +79,18 @@ type Config struct {
 	// CheckTolDivisor accepts the DP check at distance ε/CheckTolDivisor
 	// (paper: 60).
 	CheckTolDivisor float64
+
+	// FlatEpsFactor (cdkl22 engine only) runs the trimmed flatness test
+	// at ε_f = FlatEpsFactor·ε. Zero means the calibrated default 0.5.
+	FlatEpsFactor float64
+	// FlatCheckTolDivisor (cdkl22 engine only) accepts that engine's DP
+	// structure check at distance ε/FlatCheckTolDivisor. It is looser
+	// than CheckTolDivisor because the cdkl22 check runs on the FULL
+	// domain: the ≤ k−1 breakpoint intervals are never sieved away, so a
+	// legal k-histogram's learned flattening legitimately sits up to
+	// ~(k−1)/b ≈ ε/(PartBFactor·log₂(k+2)) away from H_k. Zero means
+	// the calibrated default 6.
+	FlatCheckTolDivisor float64
 
 	// TestEpsFactor runs the final [ADK15] test at ε' = TestEpsFactor·ε
 	// (paper: 13/30).
@@ -223,6 +244,22 @@ func (c Config) Alpha(eps float64) float64 { return eps / c.AlphaDivisor }
 // SieveRounds returns the number of stage-2 halving rounds, ⌈log2(k+1)⌉+1.
 func (c Config) SieveRounds(k int) int {
 	return int(math.Ceil(math.Log2(float64(k)+1))) + 1
+}
+
+// flatEpsFactor resolves FlatEpsFactor: 0 means 0.5.
+func (c Config) flatEpsFactor() float64 {
+	if c.FlatEpsFactor > 0 {
+		return c.FlatEpsFactor
+	}
+	return 0.5
+}
+
+// flatCheckTolDivisor resolves FlatCheckTolDivisor: 0 means 6.
+func (c Config) flatCheckTolDivisor() float64 {
+	if c.FlatCheckTolDivisor > 0 {
+		return c.FlatCheckTolDivisor
+	}
+	return 6
 }
 
 // sieveReps returns the amplification repetitions per sieve statistic.

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// Engine is one tester algorithm behind the shared driver
+// (Arena.TestContext). The contract splits responsibilities so every
+// engine inherits the service guarantees for free:
+//
+// The DRIVER owns input validation (k, ε ranges), the trivial k >= n
+// accept, observer attachment and the RunStart/RunEnd bracketing of the
+// trivial and error paths, and the nominal-budget guard against
+// Config.MaxSamples (via the engine's ExpectedSamples). The ENGINE owns
+// only the statistic and decision logic between those brackets.
+//
+// An engine implementation must:
+//
+//   - draw every sample through the provided oracle (and fold clone
+//     draws back via oracle.Forker.Absorb), so Trace.TotalSamples()
+//     always equals the oracle's draw count — budget conservation;
+//   - resolve Config.CountStrategy once per run through
+//     oracle.EffectiveStrategy and honor the resolved strategy on every
+//     Poissonized batch;
+//   - check ctx before every Poissonized batch draw and at every
+//     round boundary, release all pooled oracle.Counts on every path
+//     (cancellation included), and surface ctx.Err() through
+//     Arena.fail so the RunEnd event is emitted;
+//   - treat Config.Workers as a pure throughput knob: the decision and
+//     the Trace must be bit-identical for every value, which in practice
+//     means splitting all per-replicate randomness from r sequentially
+//     before any goroutine launches;
+//   - emit obs stage events in strictly increasing Stage order
+//     (skipping stages is fine, reordering is not), with StageExit
+//     sample counts that sum to the oracle's draws;
+//   - never consume randomness from Arena scratch management or
+//     observer emission.
+//
+// The cross-engine conformance suite (conformance_test.go) asserts all
+// of this against every registered engine, so a new engine only has to
+// register itself to inherit the battery.
+//
+// Engines are registered by the package itself (the run method is
+// unexported), keeping the invariant that everything selectable by name
+// has passed the conformance suite.
+type Engine interface {
+	// Name is the identifier used by Config.Engine, the histbench
+	// -engine flag, and the histd request field.
+	Name() string
+	// ExpectedSamples is the engine's nominal total sample budget for
+	// one run — the driver's guard against accidentally astronomical
+	// configurations, and the sizing estimate the experiment harness
+	// uses.
+	ExpectedSamples(n, k int, eps float64, cfg Config) int64
+	// run executes the pipeline. The driver has already validated the
+	// inputs, handled k >= n, emitted RunStart, and applied the budget
+	// guard; the engine emits its own stage events and the RunEnd of
+	// every non-error outcome.
+	run(ctx context.Context, a *Arena, o oracle.Oracle, r *rng.RNG, k int, eps float64, cfg Config) (*Result, error)
+}
+
+// DefaultEngine is the engine selected by an empty Config.Engine: the
+// source paper's Algorithm 1 (partition → learn → sieve → check → test).
+const DefaultEngine = "adk"
+
+// engines is the registry of selectable testers. Registration is
+// compile-time only: every name listed here is exercised by the
+// conformance suite.
+var engines = map[string]Engine{
+	"adk":    adkEngine{},
+	"cdkl22": cdklEngine{},
+}
+
+// Engines returns the registered engine names in sorted order.
+func Engines() []string {
+	names := make([]string, 0, len(engines))
+	for name := range engines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EngineFor resolves an engine name ("" means DefaultEngine). Serving
+// layers call this at admission time so an unknown name is a 4xx before
+// it costs a queue slot, never a silent fallback to the default.
+func EngineFor(name string) (Engine, error) {
+	if name == "" {
+		name = DefaultEngine
+	}
+	eng, ok := engines[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown engine %q (registered: %v)", name, Engines())
+	}
+	return eng, nil
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceAllocSlack is zero without the race detector: the steady-state
+// allocation ceilings are enforced at full tightness (see
+// race_on_test.go for why race builds get slack).
+const raceAllocSlack = 0

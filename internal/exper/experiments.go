@@ -42,6 +42,12 @@ type RunConfig struct {
 	// strategies, but operating characteristics (accept rates, minimal
 	// scales) agree — pinned by the metamorphic regression test.
 	CountStrategy oracle.CountStrategy
+	// Engine selects the tester implementation (core.Config.Engine):
+	// "" or "adk" is the paper's Algorithm 1, "cdkl22" the CDKL'22
+	// near-optimal tester. Unknown names fail the run at the first
+	// tester launch. E14 compares the engines head-to-head regardless
+	// of this setting.
+	Engine string
 }
 
 func (rc RunConfig) rng() *rng.RNG {
@@ -64,6 +70,7 @@ func (rc RunConfig) canonne() *baselines.Canonne {
 	t := baselines.NewCanonne()
 	t.Config.Observer = rc.Observer
 	t.Config.CountStrategy = rc.CountStrategy
+	t.Config.Engine = rc.Engine
 	return t
 }
 
@@ -90,7 +97,7 @@ type Experiment struct {
 
 // Registry lists all experiments in index order (E1–E13).
 func Registry() []Experiment {
-	return []Experiment{e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(), e13()}
+	return []Experiment{e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(), e13(), e14()}
 }
 
 // ByID finds an experiment by its identifier ("E1" ... "E10").

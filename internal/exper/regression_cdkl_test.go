@@ -1,0 +1,63 @@
+package exper
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/intervals"
+	"repro/internal/rng"
+)
+
+// TestCDKLOperatingCharacteristicRegression mirrors the E6 pin (seed 3,
+// n=2048, k=4, ε=0.4) for the cdkl22 engine: the accept rates on the
+// in-class (δ=0) and DP-verified-far (δ=0.6) instances are fully
+// deterministic given the seed, so drift in the trimmed-flatness
+// statistic, the FlatEpsFactor/FlatCheckTolDivisor calibration, or the
+// engine dispatch itself fails `go test ./...` loudly instead of
+// silently shifting the head-to-head tables of E14.
+//
+// As with the adk pin, the floors sit two trials looser than the rates
+// recorded at pin time (12/12 and 0/12), so only a real shift in the
+// operating characteristic trips them.
+func TestCDKLOperatingCharacteristicRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical regression is not a -short test")
+	}
+	const (
+		n, k   = 2048, 4
+		eps    = 0.4
+		trials = 12
+		seed   = 3
+	)
+	measureAll := func() (float64, float64) {
+		r := rng.New(seed)
+		base := gen.KHistogram(r, n, k)
+		flat := dist.Flatten(base, intervals.EquiWidth(n, 128))
+		tester := RunConfig{Engine: "cdkl22"}.canonne()
+		measure := func(delta float64) float64 {
+			inst, _ := gen.BlockComb(flat, 64, delta)
+			rate, err := AcceptRate(nil, tester, Fixed(inst), k, eps, trials, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rate.Rate
+		}
+		yes := measure(0)
+		no := measure(0.6)
+		return yes, no
+	}
+	yes, no := measureAll()
+	t.Logf("cdkl22 regression rates at seed %d: yes=%.3f no=%.3f", seed, yes, no)
+
+	if yes2, no2 := measureAll(); yes2 != yes || no2 != no {
+		t.Errorf("measurement not deterministic: (%.3f, %.3f) then (%.3f, %.3f)", yes, no, yes2, no2)
+	}
+
+	if yes < 0.83 { // recorded 1.00; allow two flipped trials
+		t.Errorf("completeness regressed: accept rate %.3f at δ=0, pinned floor 0.83", yes)
+	}
+	if no > 0.17 { // recorded 0.00; allow two flipped trials
+		t.Errorf("soundness regressed: accept rate %.3f at δ=0.6, pinned ceiling 0.17", no)
+	}
+}

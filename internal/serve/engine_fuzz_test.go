@@ -1,0 +1,85 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/histtest/client"
+	"repro/internal/serve"
+)
+
+// FuzzEngineSelection fuzzes the engine-selection path of the request
+// validator: an arbitrary engine string must either be one of the
+// registered names (run admitted and, on this trivial k >= n workload,
+// accepted with zero draws) or be rejected with a 400 bad_request at
+// admission time. Never a panic, never a 5xx, and never a silent
+// fallback to the default engine — the registry is the whole contract.
+//
+// The workload keeps iterations cheap: k equals the domain size, so an
+// admitted request takes the driver's trivial-accept path and runs no
+// engine stages at all; the fuzz target therefore measures exactly the
+// validation surface.
+func FuzzEngineSelection(f *testing.F) {
+	s := serve.New(serve.Config{Workers: 1})
+	hs := httptest.NewServer(s.Handler())
+	f.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+
+	for _, seed := range []string{"", "adk", "cdkl22", "ADK", "Cdkl22", "adk2", "cdkl22 ", " adk", "adk\x00", "default", "canonne16", "../adk", strings.Repeat("e", 4096)} {
+		f.Add(seed)
+	}
+	registered := map[string]bool{"": true, "adk": true, "cdkl22": true}
+
+	f.Fuzz(func(t *testing.T, engine string) {
+		req := client.TestRequest{
+			Spec:   &client.HistogramSpec{N: 16, Masses: []float64{1}},
+			K:      16,
+			Eps:    0.5,
+			Engine: engine,
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Skip() // engine strings JSON cannot carry are not wire-reachable
+		}
+		resp, err := http.Post(hs.URL+"/v1/test", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		defer resp.Body.Close()
+
+		// JSON round-trips can rewrite invalid UTF-8, so judge by what the
+		// server actually decoded.
+		var decoded client.TestRequest
+		if err := json.Unmarshal(body, &decoded); err != nil {
+			t.Skip()
+		}
+		if registered[decoded.Engine] {
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("engine %q: status %d, want 200", decoded.Engine, resp.StatusCode)
+			}
+			var res client.TestResult
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				t.Fatalf("engine %q: decoding result: %v", decoded.Engine, err)
+			}
+			if !res.Accept || res.SamplesUsed != 0 {
+				t.Fatalf("engine %q: trivial accept expected, got %+v", decoded.Engine, res)
+			}
+			return
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("engine %q: status %d, want 400 (no silent fallback)", decoded.Engine, resp.StatusCode)
+		}
+		var wire client.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+			t.Fatalf("engine %q: decoding error body: %v", decoded.Engine, err)
+		}
+		if wire.Code != client.ErrCodeBadRequest {
+			t.Fatalf("engine %q: code %q, want %q", decoded.Engine, wire.Code, client.ErrCodeBadRequest)
+		}
+	})
+}

@@ -93,6 +93,7 @@ func directSpecRun(t *testing.T, req client.TestRequest) (*core.Result, int64) {
 		t.Fatalf("parsing count strategy: %v", err)
 	}
 	cfg.CountStrategy = cs
+	cfg.Engine = req.Engine
 	res, err := core.Test(o, rng.New(seed), req.K, req.Eps, cfg)
 	if err != nil {
 		t.Fatalf("direct run failed: %v", err)
@@ -147,6 +148,11 @@ func TestServedBitIdenticalToDirectSpec(t *testing.T) {
 		func(r *client.TestRequest) { r.CountStrategy = "exact" },
 		func(r *client.TestRequest) { r.CountStrategy = "closed-form" },
 		func(r *client.TestRequest) { r.CountStrategy = "closed-form"; r.Workers = 4 },
+		func(r *client.TestRequest) { r.Engine = "adk" }, // explicit default engine
+		func(r *client.TestRequest) { r.Engine = "cdkl22" },
+		func(r *client.TestRequest) { r.Engine = "cdkl22"; r.Seed = 99 },
+		func(r *client.TestRequest) { r.Engine = "cdkl22"; r.Workers = 4 }, // trivially worker-independent
+		func(r *client.TestRequest) { r.Engine = "cdkl22"; r.CountStrategy = "closed-form" },
 	} {
 		req := fastReq()
 		mut(&req)
@@ -560,6 +566,8 @@ func TestBadRequests(t *testing.T) {
 		{"negative timeout", client.TestRequest{Spec: ptr(fastSpec()), K: 4, Eps: 0.5, TimeoutMS: -1}, 400, client.ErrCodeBadRequest},
 		{"dataset too small", client.TestRequest{Samples: []int{0, 1, 2, 3}, N: 64, K: 2, Eps: 0.5}, 422, client.ErrCodeNeedMoreSamples},
 		{"bad count strategy", client.TestRequest{Spec: ptr(fastSpec()), K: 4, Eps: 0.5, CountStrategy: "fast"}, 400, client.ErrCodeBadRequest},
+		{"unknown engine", client.TestRequest{Spec: ptr(fastSpec()), K: 4, Eps: 0.5, Engine: "adk2"}, 400, client.ErrCodeBadRequest},
+		{"engine case-sensitive", client.TestRequest{Spec: ptr(fastSpec()), K: 4, Eps: 0.5, Engine: "ADK"}, 400, client.ErrCodeBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -133,6 +133,14 @@ func (s *Server) resolve(req *client.TestRequest) (*runSpec, error) {
 	// request over a dataset falls back to the exact path inside the
 	// tester (oracle.EffectiveStrategy) — no error, same verdict law.
 	cfg.CountStrategy = cs
+	// Engine names resolve here at admission time so an unknown engine
+	// is a 400 before it costs a queue slot — and never a silent
+	// fallback to the default (core.TestContext would also refuse it,
+	// but only after admission).
+	if _, err := core.EngineFor(req.Engine); err != nil {
+		return nil, badReqf("%v", err)
+	}
+	cfg.Engine = req.Engine
 	sp.cfg = cfg
 
 	switch {
