@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short conformance bench bench-json bench-ingest-json bench-gate soak-smoke experiments experiments-quick examples fuzz fuzz-smoke race test-race vet lint clean
+.PHONY: build test test-short conformance conformance-list bench bench-json bench-ingest-json bench-gate soak-smoke experiments experiments-quick examples fuzz fuzz-smoke race test-race vet lint lint-tools cover cover-json clean FORCE
 
 build:
 	$(GO) build ./...
@@ -17,16 +17,29 @@ vet:
 	fi
 
 # Static analysis beyond go vet: staticcheck plus a known-vulnerability
-# scan, at pinned versions so CI runs are reproducible. Both tools are
-# fetched by `go run`, so this target needs network access (it runs as
-# its own CI job; locally it works wherever the module proxy is
-# reachable).
+# scan, at pinned versions so CI runs are reproducible. Tool binaries are
+# installed once into $(TOOLBIN) by lint-tools — NOT re-fetched by `go
+# run` on every lint — so the network is only touched on a cold cache,
+# the installed binaries land in CI's setup-go module/build cache, and a
+# fetch failure (proxy down, checksum mismatch) is reported as exactly
+# that instead of masquerading as a lint finding.
 STATICCHECK_VERSION ?= v0.5.1
 GOVULNCHECK_VERSION ?= v1.1.4
+TOOLBIN ?= $(CURDIR)/.tools
 
-lint:
-	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
-	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+$(TOOLBIN)/staticcheck:
+	@GOBIN=$(TOOLBIN) $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) \
+		|| { echo "lint: TOOL FETCH FAILED for staticcheck@$(STATICCHECK_VERSION) (network/module proxy problem, NOT a lint finding)" >&2; exit 1; }
+
+$(TOOLBIN)/govulncheck:
+	@GOBIN=$(TOOLBIN) $(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) \
+		|| { echo "lint: TOOL FETCH FAILED for govulncheck@$(GOVULNCHECK_VERSION) (network/module proxy problem, NOT a lint finding)" >&2; exit 1; }
+
+lint-tools: $(TOOLBIN)/staticcheck $(TOOLBIN)/govulncheck
+
+lint: lint-tools
+	$(TOOLBIN)/staticcheck ./...
+	$(TOOLBIN)/govulncheck ./...
 
 test: vet conformance
 	$(GO) test ./...
@@ -34,11 +47,18 @@ test: vet conformance
 # Cross-engine conformance battery, with the engine set named EXPLICITLY:
 # a registered engine missing from this list — or a listed engine missing
 # from the registry — fails loudly instead of silently shrinking the
-# table. Extend the list when registering a new engine.
+# table. Extend the list when registering a new engine, and keep every
+# declaration in sync — `make conformance-list` diffs the Makefile
+# defaults here, every CI workflow occurrence, and the in-code
+# registries (core.Engines, serve.Workloads), failing on any drift.
 CONFORMANCE_ENGINES ?= adk,cdkl22
+CONFORMANCE_WORKLOADS ?= histogram,closeness
 
 conformance:
 	$(GO) test ./internal/core/ -run 'TestConformance' -conformance-engines=$(CONFORMANCE_ENGINES) -count=1
+
+conformance-list:
+	$(GO) run ./cmd/histbench -conformance-list .
 
 # Full race-detector pass; the sieve fan-out in internal/core is the
 # main concurrent code path.
@@ -94,14 +114,20 @@ examples:
 	$(GO) run ./examples/shapeaudit
 	$(GO) run ./examples/abcompare
 
-# Short fuzz pass over the structural fuzz targets.
+# Fuzz pass over the structural fuzz targets. FUZZTIME is per target:
+# the default 15s is the local/CI smoke budget; the nightly workflow
+# runs the same list at 5m per target with the discovered corpus cached
+# across runs (see .github/workflows/nightly.yml).
+FUZZTIME ?= 15s
+
 fuzz:
-	$(GO) test -fuzz=FuzzEngineSelection -fuzztime=15s ./internal/serve/
-	$(GO) test -fuzz=FuzzFromBoundaries -fuzztime=15s ./internal/intervals/
-	$(GO) test -fuzz=FuzzDomainAlgebra -fuzztime=15s ./internal/intervals/
-	$(GO) test -fuzz=FuzzProjectTV -fuzztime=15s ./internal/histdp/
-	$(GO) test -fuzz=FuzzSerializeRoundTrip -fuzztime=15s ./histtest/
-	$(GO) test -fuzz=FuzzDenseSparseEquivalence -fuzztime=15s ./internal/oracle/
+	$(GO) test -fuzz=FuzzEngineSelection -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzClosenessDecoder -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzFromBoundaries -fuzztime=$(FUZZTIME) ./internal/intervals/
+	$(GO) test -fuzz=FuzzDomainAlgebra -fuzztime=$(FUZZTIME) ./internal/intervals/
+	$(GO) test -fuzz=FuzzProjectTV -fuzztime=$(FUZZTIME) ./internal/histdp/
+	$(GO) test -fuzz=FuzzSerializeRoundTrip -fuzztime=$(FUZZTIME) ./histtest/
+	$(GO) test -fuzz=FuzzDenseSparseEquivalence -fuzztime=$(FUZZTIME) ./internal/oracle/
 
 # Quick fuzz smoke for CI: the two differential targets that guard the
 # wire format and the dense/sparse counting crossover.
@@ -109,5 +135,24 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzSerializeRoundTrip -fuzztime=10s ./histtest/
 	$(GO) test -fuzz=FuzzDenseSparseEquivalence -fuzztime=10s ./internal/oracle/
 
+# Coverage ratchet: measure statement coverage and fail when it drops
+# more than 1pt — total or per-package — below the committed
+# COVERAGE.json floor. cover-json regenerates the floor (commit the
+# result when coverage legitimately moves).
+COVERPROFILE ?= cover.out
+
+$(COVERPROFILE): FORCE
+	$(GO) test -count=1 -coverprofile=$(COVERPROFILE) ./...
+
+cover: $(COVERPROFILE)
+	$(GO) run ./cmd/histbench -cover-profile $(COVERPROFILE) -cover-gate COVERAGE.json
+
+cover-json: $(COVERPROFILE)
+	$(GO) run ./cmd/histbench -cover-profile $(COVERPROFILE) -cover-json COVERAGE.json
+
+FORCE:
+
 clean:
 	$(GO) clean ./...
+	rm -f $(COVERPROFILE)
+	rm -rf $(TOOLBIN)

@@ -100,6 +100,10 @@ func BenchmarkE13KnownPartition(b *testing.B) { runExperiment(b, "E13") }
 // characteristic and samples-to-decision comparison.
 func BenchmarkE14EngineHeadToHead(b *testing.B) { runExperiment(b, "E14") }
 
+// BenchmarkE15TwoSampleCloseness regenerates the DKN'17-reduction vs
+// naive full-domain CDVV14 two-sample closeness comparison.
+func BenchmarkE15TwoSampleCloseness(b *testing.B) { runExperiment(b, "E15") }
+
 // benchEightHistogram returns a well-separated 8-histogram over [0, n)
 // for the sieve hot-path benchmark.
 func benchEightHistogram(n int) *dist.PiecewiseConstant {

@@ -14,6 +14,9 @@
 //	histbench -hotpath-gate BENCH_hotpath.json
 //	histbench -ingest-json BENCH_ingest.json
 //	histbench -ingest-gate BENCH_ingest.json
+//	histbench -cover-profile cover.out -cover-json COVERAGE.json
+//	histbench -cover-profile cover.out -cover-gate COVERAGE.json
+//	histbench -conformance-list .
 //
 // -hotpath-gate re-measures the hot-path micro-benchmarks and exits 1
 // when allocs/op regressed more than -hotpath-tolerance against the
@@ -21,6 +24,14 @@
 // -ingest-gate does the same for the streaming-ingestion soaks,
 // gating events/s downward and holding the 4-way soak to an absolute
 // 1M events/s floor.
+//
+// -cover-gate ratchets statement coverage against the committed
+// COVERAGE.json: a total or per-package drop beyond -cover-tolerance
+// (default 1pt) exits 1 (see `make cover`). -conformance-list diffs the
+// CONFORMANCE_ENGINES / CONFORMANCE_WORKLOADS declarations in the
+// Makefile and CI workflows against the in-code registries, so the
+// conformance battery cannot silently shrink when an engine or serve
+// workload is added (see `make conformance-list`).
 //
 // ^C (or SIGTERM) cancels the run: in-flight tester invocations abort at
 // their next context check, pooled buffers are released, and any partial
@@ -73,6 +84,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		hotTol     = fs.Float64("hotpath-tolerance", 0.10, "allowed fractional allocs/op regression for -hotpath-gate")
 		ingJSON    = fs.String("ingest-json", "", "run the streaming-ingestion soak benchmarks and write the results as JSON to this file (skips the experiments)")
 		ingGate    = fs.String("ingest-gate", "", "re-run the ingestion soaks and fail on an events/s regression — or a 4-way soak under the 1M events/s floor — against this committed report (skips the experiments)")
+		coverProf  = fs.String("cover-profile", "", "a `go test -coverprofile` file to reduce; required by -cover-json and -cover-gate")
+		coverJSON  = fs.String("cover-json", "", "reduce -cover-profile to per-package statement coverage and write the COVERAGE.json baseline to this file (skips the experiments)")
+		coverGate  = fs.String("cover-gate", "", "ratchet -cover-profile against this committed COVERAGE.json and fail on a drop beyond -cover-tolerance (skips the experiments)")
+		coverTol   = fs.Float64("cover-tolerance", 1.0, "allowed statement-coverage drop for -cover-gate, in percentage points")
+		confList   = fs.String("conformance-list", "", "diff the CONFORMANCE_ENGINES/CONFORMANCE_WORKLOADS declarations under this repo root (Makefile + CI workflows) against the in-code registries and fail on drift (skips the experiments)")
 		countStrat = fs.String("count-strategy", "", "Poissonized count synthesis: 'exact' (default; bit-identical historical streams) or 'closed-form' (O(k+occupied) per batch on known samplers)")
 		engine     = fs.String("engine", "", "tester engine: 'adk' (default; the paper's Algorithm 1) or 'cdkl22' (the CDKL'22 near-optimal tester)")
 		traceJSON  = fs.String("trace-json", "", "stream per-run stage events as JSON lines to this file (also feeds the expvar counters)")
@@ -148,6 +164,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *ingGate != "" {
 		violations, err := gateIngest(*ingGate, stdout, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "histbench: %v\n", err)
+			return 1
+		}
+		if violations > 0 {
+			return 1
+		}
+		return 0
+	}
+	if *coverJSON != "" || *coverGate != "" {
+		if *coverProf == "" {
+			fmt.Fprintln(stderr, "histbench: -cover-json/-cover-gate need -cover-profile (run `go test -coverprofile` first)")
+			return 2
+		}
+		if *coverJSON != "" {
+			if err := writeCoverageJSON(*coverProf, *coverJSON, stderr); err != nil {
+				fmt.Fprintf(stderr, "histbench: %v\n", err)
+				return 1
+			}
+			return 0
+		}
+		violations, err := gateCoverage(*coverProf, *coverGate, *coverTol, stdout, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "histbench: %v\n", err)
+			return 1
+		}
+		if violations > 0 {
+			return 1
+		}
+		return 0
+	}
+	if *confList != "" {
+		violations, err := gateConformanceLists(*confList, stdout, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "histbench: %v\n", err)
 			return 1

@@ -119,6 +119,9 @@ type TestResult struct {
 	// Trace is the full stage-level trace (nil on the trivial k >= n
 	// accept path, which runs no stages).
 	Trace *Trace `json:"trace,omitempty"`
+	// Closeness carries the full two-sample verdict when the run was a
+	// /v1/closeness request (nil for ordinary one-sample tests).
+	Closeness *ClosenessVerdict `json:"closeness,omitempty"`
 	// ElapsedMS is the server-side wall clock of the run in milliseconds.
 	ElapsedMS int64 `json:"elapsed_ms"`
 	// Err reports a per-item failure inside a streamed batch (the HTTP

@@ -1,0 +1,84 @@
+package cli
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The cross-engine conformance battery only covers what its engine list
+// names, and that list is declared in three places that can silently
+// drift apart: the registry (what the code actually has), the Makefile
+// default (what `make conformance` runs locally), and the CI workflows
+// (what the gate runs on every push). A fourth copy — the serving
+// layer's workload list — names the request shapes the e2e suites must
+// exercise. DeclaredLists extracts the declarations; ListDrift diffs
+// each against the registry truth.
+
+// DeclaredList is one place a name list is declared: a `NAME ?= a,b`
+// Makefile assignment or a `NAME=a,b` occurrence in a workflow file.
+type DeclaredList struct {
+	// Source names where the declaration was found (file plus variable).
+	Source string
+	// Names is the comma-split declaration, order preserved.
+	Names []string
+}
+
+// DeclaredLists scans text (a Makefile or workflow YAML) for assignments
+// of varName — `VAR ?= a,b` or `VAR=a,b`, including inside `run:` lines —
+// and returns one DeclaredList per occurrence, labeled source:occurrence.
+func DeclaredLists(source, text, varName string) []DeclaredList {
+	re := regexp.MustCompile(fmt.Sprintf(`(?m)%s\s*\??=\s*([A-Za-z0-9_,-]+)`, regexp.QuoteMeta(varName)))
+	var out []DeclaredList
+	for i, m := range re.FindAllStringSubmatch(text, -1) {
+		label := source
+		if i > 0 {
+			label = fmt.Sprintf("%s (occurrence %d)", source, i+1)
+		}
+		var names []string
+		for _, n := range strings.Split(m[1], ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		out = append(out, DeclaredList{Source: label + " " + varName, Names: names})
+	}
+	return out
+}
+
+// ListDrift diffs every declared list against the registry truth. Any
+// difference — a registered name a declaration omits (the battery would
+// silently shrink) or a declared name the registry lacks (the battery
+// would fail on a ghost) — is a violation. Declarations are compared as
+// sets; duplicate names within one declaration are also violations.
+func ListDrift(registry []string, declared []DeclaredList) (violations []string) {
+	want := append([]string(nil), registry...)
+	sort.Strings(want)
+	wantSet := map[string]bool{}
+	for _, n := range want {
+		wantSet[n] = true
+	}
+	for _, d := range declared {
+		seen := map[string]bool{}
+		for _, n := range d.Names {
+			if seen[n] {
+				violations = append(violations, fmt.Sprintf("%s: duplicate name %q", d.Source, n))
+			}
+			seen[n] = true
+			if !wantSet[n] {
+				violations = append(violations,
+					fmt.Sprintf("%s: names %q, which the registry does not have (registry: %s)",
+						d.Source, n, strings.Join(want, ",")))
+			}
+		}
+		for _, n := range want {
+			if !seen[n] {
+				violations = append(violations,
+					fmt.Sprintf("%s: missing registered name %q — the battery would silently shrink (declared: %s)",
+						d.Source, n, strings.Join(d.Names, ",")))
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleMakefile = `
+GO ?= go
+CONFORMANCE_ENGINES ?= adk,cdkl22
+conformance:
+	$(GO) test ./internal/core/ -conformance-engines=$(CONFORMANCE_ENGINES)
+`
+
+const sampleWorkflow = `
+jobs:
+  conformance-list:
+    steps:
+      - name: explicit-list conformance battery
+        run: make conformance CONFORMANCE_ENGINES=adk,cdkl22
+`
+
+func TestDeclaredLists(t *testing.T) {
+	got := DeclaredLists("Makefile", sampleMakefile, "CONFORMANCE_ENGINES")
+	// The ?= default matches; the $(CONFORMANCE_ENGINES) expansion must not.
+	if len(got) != 1 {
+		t.Fatalf("want 1 declaration, got %+v", got)
+	}
+	if strings.Join(got[0].Names, ",") != "adk,cdkl22" {
+		t.Fatalf("names %v", got[0].Names)
+	}
+
+	got = DeclaredLists("ci.yml", sampleWorkflow, "CONFORMANCE_ENGINES")
+	if len(got) != 1 || strings.Join(got[0].Names, ",") != "adk,cdkl22" {
+		t.Fatalf("workflow declaration: %+v", got)
+	}
+
+	if got := DeclaredLists("ci.yml", "jobs: {}", "CONFORMANCE_ENGINES"); len(got) != 0 {
+		t.Fatalf("ghost declaration: %+v", got)
+	}
+}
+
+func TestListDriftAgrees(t *testing.T) {
+	declared := append(
+		DeclaredLists("Makefile", sampleMakefile, "CONFORMANCE_ENGINES"),
+		DeclaredLists("ci.yml", sampleWorkflow, "CONFORMANCE_ENGINES")...,
+	)
+	if v := ListDrift([]string{"adk", "cdkl22"}, declared); len(v) != 0 {
+		t.Fatalf("agreeing lists flagged: %v", v)
+	}
+}
+
+// The drift gate must actually bite, in both directions and on dupes.
+func TestListDriftCatchesPerturbations(t *testing.T) {
+	// Registry grew an engine the declarations don't name: the battery
+	// would silently shrink.
+	declared := DeclaredLists("Makefile", sampleMakefile, "CONFORMANCE_ENGINES")
+	v := ListDrift([]string{"adk", "cdkl22", "dkn17"}, declared)
+	if len(v) != 1 || !strings.Contains(v[0], `missing registered name "dkn17"`) {
+		t.Fatalf("shrunken battery not caught: %v", v)
+	}
+
+	// Declaration names an engine the registry lost: ghost entry.
+	v = ListDrift([]string{"adk"}, declared)
+	if len(v) != 1 || !strings.Contains(v[0], `"cdkl22"`) {
+		t.Fatalf("ghost engine not caught: %v", v)
+	}
+
+	// Duplicate name within one declaration.
+	dupes := []DeclaredList{{Source: "Makefile CONFORMANCE_ENGINES", Names: []string{"adk", "adk", "cdkl22"}}}
+	v = ListDrift([]string{"adk", "cdkl22"}, dupes)
+	if len(v) != 1 || !strings.Contains(v[0], "duplicate") {
+		t.Fatalf("duplicate not caught: %v", v)
+	}
+}

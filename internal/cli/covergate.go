@@ -1,0 +1,182 @@
+package cli
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CoverageSchema identifies the COVERAGE.json wire format.
+const CoverageSchema = "histbench-coverage/v1"
+
+// CoverageReport is the schema of COVERAGE.json: the committed statement
+// coverage floor the ratchet gates against. Percentages are statement
+// coverage (covered statements / total statements), rounded to two
+// decimals so regeneration diffs stay readable.
+type CoverageReport struct {
+	Schema string `json:"schema"`
+	// Total is the module-wide statement coverage percentage.
+	Total float64 `json:"total_pct"`
+	// Packages maps import path to that package's statement coverage
+	// percentage. Packages with no statements in the profile (no Go
+	// files compiled, or test-only) do not appear.
+	Packages map[string]float64 `json:"packages_pct"`
+}
+
+// ParseCoverProfile aggregates a `go test -coverprofile` file into
+// per-package and total statement coverage. All three cover modes (set,
+// count, atomic) reduce the same way: a statement block is covered when
+// its count is positive, and each block weighs its statement count.
+func ParseCoverProfile(rd io.Reader) (*CoverageReport, error) {
+	type tally struct{ covered, total int64 }
+	perPkg := map[string]*tally{}
+	var all tally
+
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:sl.sc,el.ec numstmt count
+		colon := strings.LastIndex(line, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("coverprofile line %d: no file separator in %q", lineNo, line)
+		}
+		fields := strings.Fields(line[colon+1:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("coverprofile line %d: want `range numstmt count`, got %q", lineNo, line)
+		}
+		numStmt, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("coverprofile line %d: bad statement count: %w", lineNo, err)
+		}
+		count, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("coverprofile line %d: bad hit count: %w", lineNo, err)
+		}
+		pkg := path.Dir(line[:colon])
+		t := perPkg[pkg]
+		if t == nil {
+			t = &tally{}
+			perPkg[pkg] = t
+		}
+		t.total += numStmt
+		all.total += numStmt
+		if count > 0 {
+			t.covered += numStmt
+			all.covered += numStmt
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if all.total == 0 {
+		return nil, fmt.Errorf("coverprofile: no statement blocks (empty or truncated profile)")
+	}
+
+	pct := func(t *tally) float64 {
+		return math.Round(float64(t.covered)/float64(t.total)*100*100) / 100
+	}
+	rep := &CoverageReport{Schema: CoverageSchema, Total: pct(&all), Packages: map[string]float64{}}
+	for pkg, t := range perPkg {
+		rep.Packages[pkg] = pct(t)
+	}
+	return rep, nil
+}
+
+// LoadCoverageReport reads and validates a committed coverage report.
+func LoadCoverageReport(pathName string) (*CoverageReport, error) {
+	payload, err := os.ReadFile(pathName)
+	if err != nil {
+		return nil, err
+	}
+	var rep CoverageReport
+	if err := json.Unmarshal(payload, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", pathName, err)
+	}
+	if rep.Schema != CoverageSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", pathName, rep.Schema, CoverageSchema)
+	}
+	if len(rep.Packages) == 0 {
+		return nil, fmt.Errorf("%s: no package entries", pathName)
+	}
+	return &rep, nil
+}
+
+// CompareCoverage ratchets current coverage against the committed
+// baseline. A drop of more than tolerancePts percentage points — total
+// or per-package — is a violation, as is a baseline package missing from
+// the current profile entirely (deleting tests must not pass the gate by
+// deleting the package's profile lines). Packages only in current are
+// new since the baseline; they are reported as notes and start gating
+// once the report is regenerated. Every per-package delta is returned in
+// deltas (sorted, worst first) so CI logs show the full movement, not
+// just the violations.
+func CompareCoverage(baseline, current *CoverageReport, tolerancePts float64) (violations, deltas, notes []string) {
+	type move struct {
+		pkg       string
+		base, cur float64
+		delta     float64
+	}
+	moves := make([]move, 0, len(baseline.Packages))
+	names := make([]string, 0, len(baseline.Packages))
+	for pkg := range baseline.Packages {
+		names = append(names, pkg)
+	}
+	sort.Strings(names)
+
+	for _, pkg := range names {
+		base := baseline.Packages[pkg]
+		cur, ok := current.Packages[pkg]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline (%.2f%%) but missing from the current profile", pkg, base))
+			continue
+		}
+		moves = append(moves, move{pkg: pkg, base: base, cur: cur, delta: cur - base})
+		if base-cur > tolerancePts {
+			violations = append(violations,
+				fmt.Sprintf("%s: coverage dropped %.2f%% -> %.2f%% (floor %.2f%% at %.1fpt tolerance)",
+					pkg, base, cur, base-tolerancePts, tolerancePts))
+		}
+	}
+	if baseline.Total-current.Total > tolerancePts {
+		violations = append(violations,
+			fmt.Sprintf("total: coverage dropped %.2f%% -> %.2f%% (floor %.2f%% at %.1fpt tolerance)",
+				baseline.Total, current.Total, baseline.Total-tolerancePts, tolerancePts))
+	}
+
+	sort.Slice(moves, func(i, j int) bool { return moves[i].delta < moves[j].delta })
+	for _, m := range moves {
+		deltas = append(deltas, fmt.Sprintf("%s: %.2f%% -> %.2f%% (%+.2fpt)", m.pkg, m.base, m.cur, m.delta))
+	}
+	deltas = append(deltas, fmt.Sprintf("total: %.2f%% -> %.2f%% (%+.2fpt)",
+		baseline.Total, current.Total, current.Total-baseline.Total))
+
+	curNames := make([]string, 0, len(current.Packages))
+	for pkg := range current.Packages {
+		if _, ok := baseline.Packages[pkg]; !ok {
+			curNames = append(curNames, pkg)
+		}
+	}
+	sort.Strings(curNames)
+	for _, pkg := range curNames {
+		notes = append(notes,
+			fmt.Sprintf("%s: new since the baseline (%.2f%%); regenerate COVERAGE.json to arm its ratchet", pkg, current.Packages[pkg]))
+	}
+	return violations, deltas, notes
+}

@@ -1,0 +1,121 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+repro/internal/core/engine.go:10.13,12.2 3 1
+repro/internal/core/engine.go:14.2,16.2 2 0
+repro/internal/core/sieve.go:5.1,9.2 5 1
+repro/internal/cli/cli.go:8.1,9.2 4 1
+repro/internal/cli/cli.go:11.1,12.2 6 0
+`
+
+func TestParseCoverProfile(t *testing.T) {
+	rep, err := ParseCoverProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// core: 8 of 10 statements covered; cli: 4 of 10; total: 12 of 20.
+	if got := rep.Packages["repro/internal/core"]; got != 80 {
+		t.Fatalf("core coverage %v, want 80", got)
+	}
+	if got := rep.Packages["repro/internal/cli"]; got != 40 {
+		t.Fatalf("cli coverage %v, want 40", got)
+	}
+	if rep.Total != 60 {
+		t.Fatalf("total coverage %v, want 60", rep.Total)
+	}
+	if rep.Schema != CoverageSchema {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+}
+
+func TestParseCoverProfileRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"mode: set\n",
+		"mode: set\nnonsense without separator\n",
+		"mode: set\nfile.go:1.1,2.2 x 1\n",
+		"mode: set\nfile.go:1.1,2.2 1\n",
+	} {
+		if _, err := ParseCoverProfile(strings.NewReader(bad)); err == nil {
+			t.Fatalf("profile %q parsed without error", bad)
+		}
+	}
+}
+
+func coverageFixture() (*CoverageReport, *CoverageReport) {
+	base := &CoverageReport{
+		Schema: CoverageSchema,
+		Total:  70,
+		Packages: map[string]float64{
+			"repro/internal/core": 80,
+			"repro/internal/cli":  60,
+		},
+	}
+	cur := &CoverageReport{
+		Schema: CoverageSchema,
+		Total:  70.5,
+		Packages: map[string]float64{
+			"repro/internal/core": 80.5,
+			"repro/internal/cli":  60,
+		},
+	}
+	return base, cur
+}
+
+func TestCompareCoveragePasses(t *testing.T) {
+	base, cur := coverageFixture()
+	violations, deltas, notes := CompareCoverage(base, cur, 1.0)
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+	// Every baseline package plus the total shows a delta line.
+	if len(deltas) != 3 {
+		t.Fatalf("want 3 delta lines, got %v", deltas)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes: %v", notes)
+	}
+}
+
+// The ratchet must actually bite: a >1pt per-package drop, a >1pt total
+// drop, and a vanished package each fail the gate.
+func TestCompareCoverageFailsOnDrop(t *testing.T) {
+	base, cur := coverageFixture()
+	cur.Packages["repro/internal/core"] = 78.5 // -1.5pt
+	violations, _, _ := CompareCoverage(base, cur, 1.0)
+	if len(violations) != 1 || !strings.Contains(violations[0], "repro/internal/core") {
+		t.Fatalf("per-package drop not caught: %v", violations)
+	}
+
+	base, cur = coverageFixture()
+	cur.Total = 68.5
+	violations, _, _ = CompareCoverage(base, cur, 1.0)
+	if len(violations) != 1 || !strings.Contains(violations[0], "total") {
+		t.Fatalf("total drop not caught: %v", violations)
+	}
+
+	base, cur = coverageFixture()
+	delete(cur.Packages, "repro/internal/cli")
+	violations, _, _ = CompareCoverage(base, cur, 1.0)
+	if len(violations) != 1 || !strings.Contains(violations[0], "missing from the current profile") {
+		t.Fatalf("vanished package not caught: %v", violations)
+	}
+}
+
+func TestCompareCoverageToleratesSmallDipAndNotesNewPackages(t *testing.T) {
+	base, cur := coverageFixture()
+	cur.Packages["repro/internal/core"] = 79.2 // -0.8pt: within tolerance
+	cur.Packages["repro/internal/fresh"] = 12
+	violations, _, notes := CompareCoverage(base, cur, 1.0)
+	if len(violations) != 0 {
+		t.Fatalf("dip within tolerance flagged: %v", violations)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "repro/internal/fresh") {
+		t.Fatalf("new package not noted: %v", notes)
+	}
+}

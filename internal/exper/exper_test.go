@@ -97,7 +97,7 @@ func TestMinimalScaleErrorsWhenImpossible(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 14 {
+	if len(reg) != 15 {
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
 	seen := map[string]bool{}

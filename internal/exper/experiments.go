@@ -97,7 +97,7 @@ type Experiment struct {
 
 // Registry lists all experiments in index order (E1–E13).
 func Registry() []Experiment {
-	return []Experiment{e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(), e13(), e14()}
+	return []Experiment{e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(), e13(), e14(), e15()}
 }
 
 // ByID finds an experiment by its identifier ("E1" ... "E10").

@@ -6,6 +6,14 @@ package serve
 // replay shuffle's RNG exactly as the server does.
 const StreamShuffleSalt = streamShuffleSalt
 
+// ClosenessSamplerSaltB and ClosenessShuffleSaltB expose the side-B seed
+// salts of /v1/closeness: the bit-identity suite reconstructs both
+// sides' oracles exactly as resolveSide does.
+const (
+	ClosenessSamplerSaltB = closenessSamplerSaltB
+	ClosenessShuffleSaltB = closenessShuffleSaltB
+)
+
 // WithDefaults exposes Config resolution so tests can pin the default
 // SieveWorkers clamp without starting a server.
 func (c Config) WithDefaults() Config { return c.withDefaults() }

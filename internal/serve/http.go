@@ -15,6 +15,7 @@ import (
 //
 //	POST /v1/test         one TestRequest → one TestResult (JSON)
 //	POST /v1/test/stream  BatchRequest → ndjson TestResults, completion order
+//	POST /v1/closeness    ClosenessRequest → ClosenessResponse (two-sample)
 //	POST /v1/samplers     HistogramSpec → RegisterResponse
 //	POST /v1/streams      StreamSpec → StreamInfo (register an ingestion stream)
 //	GET/DELETE /v1/streams/{id}      stream info / removal
@@ -26,6 +27,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/test", s.handleTest)
 	mux.HandleFunc("POST /v1/test/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/closeness", s.handleCloseness)
 	mux.HandleFunc("POST /v1/samplers", s.handleRegister)
 	mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
 	mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamInfo)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/histtest/client"
+	"repro/internal/closeness"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/oracle"
@@ -80,6 +81,10 @@ type Config struct {
 	// service against requests whose nominal budget is astronomical.
 	// 0 keeps the core default (2³¹).
 	MaxSamplesPerRun int64
+	// ClosenessReps is the default majority-amplification replicate
+	// count of /v1/closeness runs (requests may override per call).
+	// 0 means 5; negative forces single-shot (reps = 1).
+	ClosenessReps int
 
 	// MaxStreams bounds the live ingestion-stream count across all
 	// tenants. 0 means stream.DefaultMaxStreams (256).
@@ -138,6 +143,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IngestQueue <= 0 {
 		c.IngestQueue = 2 * c.Workers
+	}
+	if c.ClosenessReps == 0 {
+		c.ClosenessReps = 5
+	}
+	if c.ClosenessReps < 1 {
+		c.ClosenessReps = 1
 	}
 	if c.JanitorInterval == 0 {
 		c.JanitorInterval = 100 * time.Millisecond
@@ -396,18 +407,19 @@ func (s *Server) enqueue(ctx context.Context, spec *runSpec, index int) *job {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	arena := core.NewArena()
+	ct := closeness.NewTester() // two-sample scratch, same per-worker reuse
 	for j := range s.jobs {
 		vars().queueDepth.Add(-1)
 		<-s.slots
 		close(j.started)
-		j.result <- s.execute(arena, j)
+		j.result <- s.execute(arena, ct, j)
 	}
 }
 
 // execute runs one job on the given arena, mapping every outcome —
 // verdict, validation failure, replay exhaustion, cancellation — to a
 // wire TestResult.
-func (s *Server) execute(arena *core.Arena, j *job) (res client.TestResult) {
+func (s *Server) execute(arena *core.Arena, ct *closeness.Tester, j *job) (res client.TestResult) {
 	start := time.Now()
 	defer func() {
 		res.ElapsedMS = time.Since(start).Milliseconds()
@@ -433,6 +445,9 @@ func (s *Server) execute(arena *core.Arena, j *job) (res client.TestResult) {
 	mctx, mcancel := mergeContexts(j.ctx, s.hardStop)
 	defer mcancel()
 
+	if j.spec.close != nil {
+		return runCloseness(mctx, ct, j.spec, j.index)
+	}
 	return runOne(mctx, arena, j.spec, j.index, s.cfg.Observer)
 }
 

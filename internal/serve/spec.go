@@ -26,6 +26,11 @@ type runSpec struct {
 	cfg        core.Config
 	timeout    time.Duration
 	datasetLen int // replay requests: the dataset size (error reporting)
+
+	// close, when non-nil, marks a two-sample closeness run: o is side A
+	// and close carries side B plus the closeness config (cfg above is
+	// unused then). See closeness.go.
+	close *closenessRun
 }
 
 // badRequest is a resolution failure carrying its wire error code.
